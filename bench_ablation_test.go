@@ -1,0 +1,124 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/analytic"
+	"repro/internal/core"
+)
+
+// Ablation benchmarks: quantify the design choices DESIGN.md calls out.
+// Each reports latency-cycles so `go test -bench=Ablation` prints the
+// trade-off directly.
+
+// faultedConfig is the shared ablation workload: an 8-ary 2-cube at
+// moderate load with 5 random faults — enough absorption traffic for the
+// knobs to matter.
+func faultedConfig() core.Config {
+	c := benchConfig(8, 2, 0.006)
+	c.V = 6
+	c.Faults.RandomNodes = 5
+	c.Seed = 3
+	return c
+}
+
+// Buffer depth: deeper per-VC buffers absorb burstiness but cost area.
+func BenchmarkAblationBufDepth1(b *testing.B) { c := faultedConfig(); c.BufDepth = 1; runPoint(b, c) }
+func BenchmarkAblationBufDepth2(b *testing.B) { c := faultedConfig(); c.BufDepth = 2; runPoint(b, c) }
+func BenchmarkAblationBufDepth4(b *testing.B) { c := faultedConfig(); c.BufDepth = 4; runPoint(b, c) }
+func BenchmarkAblationBufDepth8(b *testing.B) { c := faultedConfig(); c.BufDepth = 8; runPoint(b, c) }
+
+// Software re-injection overhead Δ (assumption (i); the paper sets it to 0
+// arguing it is negligible — these benches quantify the claim).
+func BenchmarkAblationDelta0(b *testing.B)   { c := faultedConfig(); c.Delta = 0; runPoint(b, c) }
+func BenchmarkAblationDelta20(b *testing.B)  { c := faultedConfig(); c.Delta = 20; runPoint(b, c) }
+func BenchmarkAblationDelta100(b *testing.B) { c := faultedConfig(); c.Delta = 100; runPoint(b, c) }
+
+// Router decision time Td (assumption (f), also set to 0 in the paper).
+func BenchmarkAblationTd0(b *testing.B) { c := faultedConfig(); c.Td = 0; runPoint(b, c) }
+func BenchmarkAblationTd2(b *testing.B) { c := faultedConfig(); c.Td = 2; runPoint(b, c) }
+
+// Re-injection priority: the paper argues absorbed messages must outrank
+// fresh traffic to prevent starvation.
+func BenchmarkAblationReinjectPriority(b *testing.B) { runPoint(b, faultedConfig()) }
+func BenchmarkAblationNoReinjectPriority(b *testing.B) {
+	c := faultedConfig()
+	c.NoReinjectPriority = true
+	runPoint(b, c)
+}
+
+// Rerouting-table escalation: how soon the exact planner (table T3)
+// replaces the reverse/orthogonal heuristics. 1 = exact planning on every
+// absorption; large = heuristics only.
+func BenchmarkAblationEscalation1(b *testing.B) {
+	c := faultedConfig()
+	c.Escalation = 1
+	runPoint(b, c)
+}
+func BenchmarkAblationEscalation6(b *testing.B) {
+	c := faultedConfig()
+	c.Escalation = 6
+	runPoint(b, c)
+}
+func BenchmarkAblationEscalation32(b *testing.B) {
+	c := faultedConfig()
+	c.Escalation = 32
+	runPoint(b, c)
+}
+
+// Wire latency: flit time across a physical channel (assumption (g) uses 1).
+func BenchmarkAblationLinkLatency1(b *testing.B) {
+	c := faultedConfig()
+	c.LinkLatency = 1
+	runPoint(b, c)
+}
+func BenchmarkAblationLinkLatency2(b *testing.B) {
+	c := faultedConfig()
+	c.LinkLatency = 2
+	c.BufDepth = 4 // cover the longer credit round-trip
+	runPoint(b, c)
+}
+func BenchmarkAblationCreditDelay4(b *testing.B) {
+	c := faultedConfig()
+	c.CreditDelay = 4
+	c.BufDepth = 4
+	runPoint(b, c)
+}
+
+// Engine raw speed: simulated cycles per second at a moderate load on the
+// paper's 8-ary 2-cube (for capacity planning of full-scale sweeps).
+func BenchmarkEngineCyclesPerSecond(b *testing.B) {
+	c := benchConfig(8, 2, 0.006)
+	c.V = 6
+	c.MeasureMessages = 1 << 30 // never stop on quota
+	// Build once, then measure stepping.
+	res, err := core.Run(coreConfigForSteps(c, int64(b.N)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = res
+}
+
+// coreConfigForSteps caps a config to roughly n cycles via MaxCycles.
+func coreConfigForSteps(c core.Config, n int64) core.Config {
+	if n < 1000 {
+		n = 1000
+	}
+	c.MaxCycles = n
+	c.SaturationBacklog = 1 << 30
+	return c
+}
+
+// Analytical model evaluation cost (for reference against simulation cost).
+func BenchmarkAnalyticModel(b *testing.B) {
+	m := analytic.Model{K: 8, N: 2, V: 4, M: 32, Lambda: 0.008, Nf: 5}
+	var lat float64
+	for i := 0; i < b.N; i++ {
+		l, err := m.MeanLatency()
+		if err != nil {
+			b.Fatal(err)
+		}
+		lat = l
+	}
+	b.ReportMetric(lat, "latency-cycles")
+}

@@ -1,0 +1,172 @@
+// Package repro_test holds the top-level benchmark harness: one testing.B
+// benchmark per figure of the paper's evaluation section, each running a
+// scaled-down instance of that figure's workload (the full sweeps live in
+// cmd/figures). Reported custom metrics expose the figure's headline
+// quantity: cycles of mean latency, throughput, or absorptions per 1000
+// messages.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/topology"
+)
+
+// benchConfig is the shared reduced measurement protocol for benchmark
+// points: enough messages for stable means, small enough for -bench runs.
+func benchConfig(k, n int, lambda float64) core.Config {
+	c := core.DefaultConfig(k, n, lambda)
+	c.WarmupMessages = 200
+	c.MeasureMessages = 2000
+	return c
+}
+
+func runPoint(b *testing.B, c core.Config) {
+	b.Helper()
+	var lastLatency, lastThroughput float64
+	var lastQueued uint64
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lastLatency = res.MeanLatency
+		lastThroughput = res.Throughput
+		lastQueued = res.QueuedTotal()
+	}
+	b.ReportMetric(lastLatency, "latency-cycles")
+	b.ReportMetric(lastThroughput*1e3, "kthroughput")
+	b.ReportMetric(float64(lastQueued), "queued")
+}
+
+// BenchmarkFig1Regions regenerates Fig. 1's region construction and
+// classification: every silhouette stamped and coalesced on a 16-ary
+// 2-cube.
+func BenchmarkFig1Regions(b *testing.B) {
+	t := topology.New(16, 2)
+	specs := []fault.ShapeSpec{
+		{Shape: fault.ShapeBar, A: 4, AnchorA: 2, AnchorB: 2},
+		{Shape: fault.ShapeDoubleBar, A: 4, AnchorA: 2, AnchorB: 2},
+		{Shape: fault.ShapeRect, A: 3, B: 3, AnchorA: 2, AnchorB: 2},
+		{Shape: fault.ShapeL, A: 4, B: 4, AnchorA: 2, AnchorB: 2},
+		{Shape: fault.ShapeU, A: 4, B: 5, AnchorA: 2, AnchorB: 2},
+		{Shape: fault.ShapePlus, A: 5, B: 5, AnchorA: 2, AnchorB: 2},
+		{Shape: fault.ShapeT, A: 5, B: 3, AnchorA: 2, AnchorB: 2},
+		{Shape: fault.ShapeH, A: 5, B: 5, AnchorA: 2, AnchorB: 2},
+	}
+	for i := 0; i < b.N; i++ {
+		for _, sp := range specs {
+			fs := fault.NewSet(t)
+			if _, err := fault.StampShape(fs, 0, 0, 1, sp); err != nil {
+				b.Fatal(err)
+			}
+			regs := fs.Regions()
+			for _, r := range regs {
+				_ = r.Convex()
+			}
+		}
+	}
+}
+
+// Fig. 3 benchmarks: 8-ary 2-cube latency points (deterministic and
+// adaptive, fault-free and faulted), one per paper panel family.
+
+func BenchmarkFig3DetV4NoFaults(b *testing.B) {
+	c := benchConfig(8, 2, 0.006)
+	c.V = 4
+	runPoint(b, c)
+}
+
+func BenchmarkFig3DetV4Faults3(b *testing.B) {
+	c := benchConfig(8, 2, 0.006)
+	c.V = 4
+	c.Faults.RandomNodes = 3
+	runPoint(b, c)
+}
+
+func BenchmarkFig3DetV6Faults5M64(b *testing.B) {
+	c := benchConfig(8, 2, 0.006)
+	c.V = 6
+	c.MsgLen = 64
+	c.Faults.RandomNodes = 5
+	runPoint(b, c)
+}
+
+func BenchmarkFig3AdaptiveV10Faults5(b *testing.B) {
+	c := benchConfig(8, 2, 0.01)
+	c.V = 10
+	c.Adaptive = true
+	c.Faults.RandomNodes = 5
+	runPoint(b, c)
+}
+
+// Fig. 4 benchmarks: 8-ary 3-cube latency points with nf in {0, 12}.
+
+func BenchmarkFig4DetV4NoFaults(b *testing.B) {
+	c := benchConfig(8, 3, 0.006)
+	c.V = 4
+	runPoint(b, c)
+}
+
+func BenchmarkFig4DetV10Faults12(b *testing.B) {
+	c := benchConfig(8, 3, 0.008)
+	c.V = 10
+	c.Faults.RandomNodes = 12
+	runPoint(b, c)
+}
+
+func BenchmarkFig4AdaptiveV6Faults12(b *testing.B) {
+	c := benchConfig(8, 3, 0.008)
+	c.V = 6
+	c.Adaptive = true
+	c.Faults.RandomNodes = 12
+	runPoint(b, c)
+}
+
+// Fig. 5 benchmarks: fault-region latency points (M=32, V=10), one convex
+// and one concave region in each routing mode.
+
+func fig5Point(b *testing.B, shapeName string, adaptive bool) {
+	c := benchConfig(8, 2, 0.012)
+	c.V = 10
+	c.Adaptive = adaptive
+	c.Faults.Shapes = []core.ShapeStamp{{Spec: fault.PaperFig5Specs()[shapeName], DimA: 0, DimB: 1}}
+	runPoint(b, c)
+}
+
+func BenchmarkFig5RectDet(b *testing.B)         { fig5Point(b, "rect-shaped", false) }
+func BenchmarkFig5URegionDet(b *testing.B)      { fig5Point(b, "U-shaped", false) }
+func BenchmarkFig5RectAdaptive(b *testing.B)    { fig5Point(b, "rect-shaped", true) }
+func BenchmarkFig5URegionAdaptive(b *testing.B) { fig5Point(b, "U-shaped", true) }
+
+// Fig. 6 benchmarks: 16-ary 2-cube throughput under saturation load with
+// faults (the capacity measurement).
+
+func fig6Point(b *testing.B, nf int, adaptive bool) {
+	c := benchConfig(16, 2, 0.012)
+	c.V = 6
+	c.Adaptive = adaptive
+	c.Faults.RandomNodes = nf
+	c.SaturationBacklog = 1 << 30
+	c.MaxCycles = 60_000
+	runPoint(b, c)
+}
+
+func BenchmarkFig6ThroughputDetFaults6(b *testing.B)      { fig6Point(b, 6, false) }
+func BenchmarkFig6ThroughputAdaptiveFaults6(b *testing.B) { fig6Point(b, 6, true) }
+
+// Fig. 7 benchmarks: messages-queued counting in an 8-ary 3-cube
+// (M=32, V=10), generation rate 100 (λ = 0.01).
+
+func fig7Point(b *testing.B, adaptive bool) {
+	c := benchConfig(8, 3, 0.01)
+	c.V = 10
+	c.Adaptive = adaptive
+	c.Faults.RandomNodes = 8
+	runPoint(b, c)
+}
+
+func BenchmarkFig7QueuedDet(b *testing.B)      { fig7Point(b, false) }
+func BenchmarkFig7QueuedAdaptive(b *testing.B) { fig7Point(b, true) }

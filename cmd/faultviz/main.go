@@ -1,0 +1,74 @@
+// Command faultviz renders fault configurations of a 2-D torus plane as
+// ASCII art (Fig. 1 of the paper), with coalesced-region summaries.
+//
+//	faultviz -k 16 -shape U -a 4 -b 5
+//	faultviz -k 8 -random 5 -seed 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/fault"
+	"repro/internal/rng"
+	"repro/internal/topology"
+	"repro/internal/viz"
+)
+
+func main() {
+	var (
+		k      = flag.Int("k", 16, "radix of the 2-D torus")
+		shape  = flag.String("shape", "", "shape: bar|doublebar|rect|L|U|T|plus|H")
+		a      = flag.Int("a", 4, "shape parameter A")
+		b      = flag.Int("b", 4, "shape parameter B")
+		th     = flag.Int("t", 0, "plus-shape thickness (0 = 1)")
+		ax     = flag.Int("ax", 2, "anchor coordinate in dim 0")
+		ay     = flag.Int("ay", 2, "anchor coordinate in dim 1")
+		random = flag.Int("random", 0, "random faulty nodes instead of a shape")
+		seed   = flag.Uint64("seed", 1, "seed for random placement")
+	)
+	flag.Parse()
+
+	t := topology.New(*k, 2)
+	fs := fault.NewSet(t)
+	switch {
+	case *random > 0:
+		var err error
+		fs, err = fault.Random(t, *random, rng.New(*seed), fault.DefaultRandomOptions())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faultviz: %v\n", err)
+			os.Exit(1)
+		}
+	case *shape != "":
+		sh, ok := shapeByName(*shape)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "faultviz: unknown shape %q\n", *shape)
+			os.Exit(2)
+		}
+		spec := fault.ShapeSpec{Shape: sh, A: *a, B: *b, T: *th, AnchorA: *ax, AnchorB: *ay}
+		if _, err := fault.StampShape(fs, 0, 0, 1, spec); err != nil {
+			fmt.Fprintf(os.Stderr, "faultviz: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	fmt.Print(viz.RenderPlane(fs, 0, 0, 1))
+	fmt.Print(viz.RenderRegions(fs))
+	if fs.Disconnects() {
+		fmt.Println("WARNING: this configuration disconnects the network")
+	}
+}
+
+func shapeByName(name string) (fault.Shape, bool) {
+	m := map[string]fault.Shape{
+		"bar": fault.ShapeBar, "doublebar": fault.ShapeDoubleBar,
+		"rect": fault.ShapeRect, "L": fault.ShapeL, "U": fault.ShapeU,
+		"T": fault.ShapeT, "plus": fault.ShapePlus, "H": fault.ShapeH,
+	}
+	s, ok := m[name]
+	return s, ok
+}

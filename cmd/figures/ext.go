@@ -1,0 +1,119 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// figExt runs the extended experiments the paper alludes to but does not
+// plot ("numerous experiments have been performed for different sizes of
+// the network and message length", §5.2): larger radix, higher
+// dimensionality, and non-uniform traffic patterns under faults.
+func (h *harness) figExt() {
+	fmt.Println("\n===== Extended experiments (sizes and patterns beyond the plotted figures) =====")
+	h.extSizes()
+	h.extPatterns()
+}
+
+func (h *harness) extSizes() {
+	type netCase struct {
+		k, n, nf int
+		v        int
+	}
+	cases := []netCase{
+		{16, 2, 0, 6}, {16, 2, 8, 6}, // larger radix
+		{4, 4, 0, 6}, {4, 4, 12, 6}, // higher dimensionality
+	}
+	grid := []float64{0.002, 0.004, 0.006, 0.008}
+	var points []core.Point
+	label := func(c netCase, adaptive bool, l float64) string {
+		return fmt.Sprintf("%dx%d|nf%d|a%v|l%g", c.k, c.n, c.nf, adaptive, l)
+	}
+	for _, c := range cases {
+		for _, adaptive := range []bool{false, true} {
+			for _, l := range grid {
+				cfg := h.base(c.k, c.n, l)
+				cfg.V = c.v
+				cfg.Adaptive = adaptive
+				cfg.Faults.RandomNodes = c.nf
+				cfg.Seed = 1001
+				points = append(points, core.Point{Label: label(c, adaptive, l), Config: cfg})
+			}
+		}
+	}
+	res := h.run(points)
+	var cols []string
+	type curve struct {
+		c        netCase
+		adaptive bool
+	}
+	var curves []curve
+	for _, c := range cases {
+		for _, adaptive := range []bool{false, true} {
+			mode := "det"
+			if adaptive {
+				mode = "adp"
+			}
+			cols = append(cols, fmt.Sprintf("%d-ary %d, nf%d %s", c.k, c.n, c.nf, mode))
+			curves = append(curves, curve{c, adaptive})
+		}
+	}
+	rows := make([]string, len(grid))
+	for i, l := range grid {
+		rows[i] = fmt.Sprintf("%g", l)
+	}
+	printTable("Ext A: latency across network sizes (mean cycles; * = saturated)", cols, rows,
+		func(ri, ci int) string {
+			cu := curves[ci]
+			return latencyCell(res[label(cu.c, cu.adaptive, grid[ri])])
+		})
+}
+
+func (h *harness) extPatterns() {
+	patterns := []string{"uniform", "transpose", "hotspot"}
+	grid := []float64{0.002, 0.004, 0.006}
+	var points []core.Point
+	label := func(p string, adaptive bool, l float64) string {
+		return fmt.Sprintf("%s|a%v|l%g", p, adaptive, l)
+	}
+	for _, p := range patterns {
+		for _, adaptive := range []bool{false, true} {
+			for _, l := range grid {
+				cfg := h.base(8, 2, l)
+				cfg.V = 6
+				cfg.Adaptive = adaptive
+				cfg.Pattern = p
+				cfg.Faults.RandomNodes = 4
+				cfg.Seed = 1002
+				points = append(points, core.Point{Label: label(p, adaptive, l), Config: cfg})
+			}
+		}
+	}
+	res := h.run(points)
+	var cols []string
+	type curve struct {
+		p        string
+		adaptive bool
+	}
+	var curves []curve
+	for _, p := range patterns {
+		for _, adaptive := range []bool{false, true} {
+			mode := "det"
+			if adaptive {
+				mode = "adp"
+			}
+			cols = append(cols, fmt.Sprintf("%s %s", p, mode))
+			curves = append(curves, curve{p, adaptive})
+		}
+	}
+	rows := make([]string, len(grid))
+	for i, l := range grid {
+		rows[i] = fmt.Sprintf("%g", l)
+	}
+	printTable("Ext B: traffic patterns under 4 random faults, 8-ary 2-cube, V=6 (mean cycles)", cols, rows,
+		func(ri, ci int) string {
+			cu := curves[ci]
+			return latencyCell(res[label(cu.p, cu.adaptive, grid[ri])])
+		})
+}

@@ -1,0 +1,343 @@
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/topology"
+	"repro/internal/viz"
+)
+
+// fig1 reproduces Fig. 1: examples of coalesced fault regions in a 2-D
+// torus, rendered as ASCII planes with convex/concave classification.
+func (h *harness) fig1() {
+	fmt.Println("\n===== Fig. 1: coalesced fault regions in a 2-D torus =====")
+	t := topology.New(16, 2)
+	examples := []struct {
+		name string
+		spec fault.ShapeSpec
+	}{
+		{"|-shaped (convex)", fault.ShapeSpec{Shape: fault.ShapeBar, A: 4, AnchorA: 2, AnchorB: 2}},
+		{"||-shaped (convex x2)", fault.ShapeSpec{Shape: fault.ShapeDoubleBar, A: 4, AnchorA: 2, AnchorB: 2}},
+		{"square-shaped (convex)", fault.ShapeSpec{Shape: fault.ShapeRect, A: 3, B: 3, AnchorA: 2, AnchorB: 2}},
+		{"L-shaped (concave)", fault.ShapeSpec{Shape: fault.ShapeL, A: 4, B: 4, AnchorA: 2, AnchorB: 2}},
+		{"U-shaped (concave)", fault.ShapeSpec{Shape: fault.ShapeU, A: 4, B: 5, AnchorA: 2, AnchorB: 2}},
+		{"+-shaped (concave)", fault.ShapeSpec{Shape: fault.ShapePlus, A: 5, B: 5, AnchorA: 2, AnchorB: 2}},
+		{"T-shaped (concave)", fault.ShapeSpec{Shape: fault.ShapeT, A: 5, B: 3, AnchorA: 2, AnchorB: 2}},
+		{"H-shaped (concave)", fault.ShapeSpec{Shape: fault.ShapeH, A: 5, B: 5, AnchorA: 2, AnchorB: 2}},
+	}
+	for _, ex := range examples {
+		fs := fault.NewSet(t)
+		if _, err := fault.StampShape(fs, 0, 0, 1, ex.spec); err != nil {
+			fmt.Printf("%s: %v\n", ex.name, err)
+			continue
+		}
+		fmt.Printf("\n-- %s --\n%s%s", ex.name, viz.RenderPlane(fs, 0, 0, 1), viz.RenderRegions(fs))
+	}
+}
+
+// latencyFigure renders one latency-vs-traffic figure: a panel per
+// (routing, V), curves per (M, nf). Faulted curves average over h.seeds
+// random placements ("to make the results independent of relative positions
+// of failures", §5.2); a point prints as saturated when at least half its
+// placements saturate.
+func (h *harness) latencyFigure(figName string, k, n int, vs []int, ms []int, nfs []int) {
+	for _, adaptive := range []bool{false, true} {
+		routing := "Deterministic"
+		if adaptive {
+			routing = "Adaptive"
+		}
+		for _, v := range vs {
+			if adaptive && v < 3 {
+				continue
+			}
+			grid := h.lambdaGrid(v)
+			var points []core.Point
+			label := func(m, nf int, l float64, s int) string {
+				return fmt.Sprintf("%s|v%d|m%d|nf%d|l%g|s%d", routing, v, m, nf, l, s)
+			}
+			seedsFor := func(nf int) int {
+				if nf == 0 {
+					return 1 // fault-free: placement is irrelevant
+				}
+				return h.seeds
+			}
+			for _, m := range ms {
+				for _, nf := range nfs {
+					for _, l := range grid {
+						for s := 0; s < seedsFor(nf); s++ {
+							c := h.base(k, n, l)
+							c.V = v
+							c.MsgLen = m
+							c.Adaptive = adaptive
+							c.Faults.RandomNodes = nf
+							c.Seed = uint64(1000 + s)
+							points = append(points, core.Point{Label: label(m, nf, l, s), Config: c})
+						}
+					}
+				}
+			}
+			res := h.run(points)
+			var cols []string
+			type curve struct{ m, nf int }
+			var curves []curve
+			for _, m := range ms {
+				for _, nf := range nfs {
+					cols = append(cols, fmt.Sprintf("M=%d,nf=%d", m, nf))
+					curves = append(curves, curve{m, nf})
+				}
+			}
+			rows := make([]string, len(grid))
+			for i, l := range grid {
+				rows[i] = fmt.Sprintf("%g", l)
+			}
+			// vals[ci][ri]: mean latency (NaN = missing); satMask flags
+			// points where at least half the placements saturated.
+			vals := make([][]float64, len(curves))
+			satMask := make([][]bool, len(curves))
+			for ci, cu := range curves {
+				vals[ci] = make([]float64, len(grid))
+				satMask[ci] = make([]bool, len(grid))
+				for ri := range grid {
+					sum, cnt, sat := 0.0, 0, 0
+					for s := 0; s < seedsFor(cu.nf); s++ {
+						r, ok := res[label(cu.m, cu.nf, grid[ri], s)]
+						if !ok || r.Err != nil {
+							continue
+						}
+						if r.Results.Saturated {
+							sat++
+						}
+						sum += r.Results.MeanLatency
+						cnt++
+					}
+					if cnt == 0 {
+						vals[ci][ri] = math.NaN()
+						continue
+					}
+					vals[ci][ri] = sum / float64(cnt)
+					satMask[ci][ri] = 2*sat >= cnt
+				}
+			}
+			printTable(
+				fmt.Sprintf("%s: %s routing, %d-ary %d-cube, V=%d (mean latency, cycles; * = saturated)", figName, routing, k, n, v),
+				cols, rows,
+				func(ri, ci int) string {
+					v := vals[ci][ri]
+					switch {
+					case math.IsNaN(v):
+						return "err"
+					case satMask[ci][ri]:
+						return fmt.Sprintf("%.0f*", v)
+					default:
+						return fmt.Sprintf("%.1f", v)
+					}
+				})
+			if h.plot {
+				ch := viz.NewChart(grid, 6, 14)
+				for ci, cu := range curves {
+					ys := make([]float64, len(grid))
+					for ri := range grid {
+						if satMask[ci][ri] {
+							ys[ri] = math.Inf(1)
+						} else {
+							ys[ri] = vals[ci][ri]
+						}
+					}
+					ch.Add(fmt.Sprintf("M%d/nf%d", cu.m, cu.nf), ys)
+				}
+				fmt.Println()
+				fmt.Print(ch.Render())
+			}
+		}
+	}
+}
+
+// fig3: mean message latency vs traffic rate in an 8-ary 2-cube;
+// deterministic and adaptive; M in {32,64}; V in {4,6,10}; nf in {0,3,5}.
+func (h *harness) fig3() {
+	fmt.Println("\n===== Fig. 3: latency vs traffic, 8-ary 2-cube, random faults =====")
+	h.latencyFigure("Fig 3", 8, 2, []int{4, 6, 10}, []int{32, 64}, []int{0, 3, 5})
+}
+
+// fig4: same in an 8-ary 3-cube with nf in {0,12}.
+func (h *harness) fig4() {
+	fmt.Println("\n===== Fig. 4: latency vs traffic, 8-ary 3-cube, random faults =====")
+	h.latencyFigure("Fig 4", 8, 3, []int{4, 6, 10}, []int{32, 64}, []int{0, 12})
+}
+
+// fig5: latency vs traffic for the five fault-region shapes of the paper
+// (8-ary 2-cube, M=32, V=10, deterministic and adaptive).
+func (h *harness) fig5() {
+	fmt.Println("\n===== Fig. 5: latency vs traffic with fault regions, 8-ary 2-cube, M=32, V=10 =====")
+	specs := fault.PaperFig5Specs()
+	order := []string{"rect-shaped", "T-shaped", "Plus-shaped", "L-shaped", "U-shaped"}
+	grid := h.lambdaGrid(10)
+	var points []core.Point
+	label := func(routing, shape string, l float64) string {
+		return fmt.Sprintf("%s|%s|l%g", routing, shape, l)
+	}
+	for _, adaptive := range []bool{false, true} {
+		routing := "det"
+		if adaptive {
+			routing = "adp"
+		}
+		for _, shape := range order {
+			for _, l := range grid {
+				c := h.base(8, 2, l)
+				c.V = 10
+				c.MsgLen = 32
+				c.Adaptive = adaptive
+				c.Faults.Shapes = []core.ShapeStamp{{Spec: specs[shape], DimA: 0, DimB: 1}}
+				points = append(points, core.Point{Label: label(routing, shape, l), Config: c})
+			}
+		}
+	}
+	res := h.run(points)
+	var cols []string
+	type curve struct{ routing, shape string }
+	var curves []curve
+	for _, routing := range []string{"det", "adp"} {
+		for _, shape := range order {
+			nf, _ := specs[shape].CellCount()
+			cols = append(cols, fmt.Sprintf("%s %s(%d)", routing, shortShape(shape), nf))
+			curves = append(curves, curve{routing, shape})
+		}
+	}
+	rows := make([]string, len(grid))
+	for i, l := range grid {
+		rows[i] = fmt.Sprintf("%g", l)
+	}
+	printTable("Fig 5: mean latency (cycles; * = saturated)", cols, rows, func(ri, ci int) string {
+		cu := curves[ci]
+		return latencyCell(res[label(cu.routing, cu.shape, grid[ri])])
+	})
+}
+
+func shortShape(s string) string {
+	switch s {
+	case "rect-shaped":
+		return "rect"
+	case "T-shaped":
+		return "T"
+	case "Plus-shaped":
+		return "+"
+	case "L-shaped":
+		return "L"
+	case "U-shaped":
+		return "U"
+	}
+	return s
+}
+
+// fig6: overall throughput vs number of random faulty nodes in a 16-ary
+// 2-cube (M=32, V=6), deterministic vs adaptive, averaged over fault
+// placements. Offered load sits past the fault-free saturation point so the
+// measured delivery rate is the network's capacity.
+func (h *harness) fig6() {
+	fmt.Println("\n===== Fig. 6: throughput vs faulty nodes, 16-ary 2-cube, M=32, V=6 =====")
+	const lambda = 0.012
+	nfs := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}
+	var points []core.Point
+	label := func(routing string, nf, seed int) string {
+		return fmt.Sprintf("%s|nf%d|s%d", routing, nf, seed)
+	}
+	for _, adaptive := range []bool{false, true} {
+		routing := "det"
+		if adaptive {
+			routing = "adp"
+		}
+		for _, nf := range nfs {
+			for s := 0; s < h.seeds; s++ {
+				c := h.base(16, 2, lambda)
+				c.V = 6
+				c.MsgLen = 32
+				c.Adaptive = adaptive
+				c.Faults.RandomNodes = nf
+				c.Seed = uint64(1000 + s)
+				// Throughput runs are capacity measurements: let them run a
+				// fixed horizon rather than stopping at a backlog.
+				c.SaturationBacklog = 1 << 30
+				c.MaxCycles = int64(h.scale.measure) * 40
+				points = append(points, core.Point{Label: label(routing, nf, s), Config: c})
+			}
+		}
+	}
+	res := h.run(points)
+	fmt.Printf("\n== Fig 6: throughput (messages/node/cycle) at offered λ=%g ==\n", lambda)
+	fmt.Printf("%-8s%14s%14s\n", "nf", "deterministic", "adaptive")
+	for _, nf := range nfs {
+		avg := func(routing string) float64 {
+			sum, n := 0.0, 0
+			for s := 0; s < h.seeds; s++ {
+				if r, ok := res[label(routing, nf, s)]; ok && r.Err == nil {
+					sum += r.Results.Throughput
+					n++
+				}
+			}
+			if n == 0 {
+				return 0
+			}
+			return sum / float64(n)
+		}
+		fmt.Printf("%-8d%14.5f%14.5f\n", nf, avg("det"), avg("adp"))
+	}
+}
+
+// fig7: number of messages queued (absorbed) vs number of random faulty
+// nodes in an 8-ary 3-cube (M=32, V=10) for two generation rates. The
+// paper's "generation rate = g" is read as g messages per node per 10,000
+// cycles (λ = g/10000), which keeps rate 100 above rate 70 as in the
+// paper's legend (see EXPERIMENTS.md); counts are scaled to the paper's
+// 100,000-message protocol for comparability.
+func (h *harness) fig7() {
+	fmt.Println("\n===== Fig. 7: messages queued vs faulty nodes, 8-ary 3-cube, M=32, V=10 =====")
+	rates := []int{70, 100}
+	nfs := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+	var points []core.Point
+	label := func(routing string, rate, nf, seed int) string {
+		return fmt.Sprintf("%s|g%d|nf%d|s%d", routing, rate, nf, seed)
+	}
+	for _, adaptive := range []bool{false, true} {
+		routing := "det"
+		if adaptive {
+			routing = "adp"
+		}
+		for _, rate := range rates {
+			for _, nf := range nfs {
+				for s := 0; s < h.seeds; s++ {
+					c := h.base(8, 3, float64(rate)/10000.0)
+					c.V = 10
+					c.MsgLen = 32
+					c.Adaptive = adaptive
+					c.Faults.RandomNodes = nf
+					c.Seed = uint64(2000 + s)
+					points = append(points, core.Point{Label: label(routing, rate, nf, s), Config: c})
+				}
+			}
+		}
+	}
+	res := h.run(points)
+	fmt.Println("\n== Fig 7: messages queued, scaled to per-100k-messages (paper's protocol) ==")
+	fmt.Printf("%-8s%16s%16s%16s%16s\n", "nf", "adp g=100", "det g=100", "adp g=70", "det g=70")
+	for _, nf := range nfs {
+		avg := func(routing string, rate int) float64 {
+			sum, n := 0.0, 0
+			for s := 0; s < h.seeds; s++ {
+				if r, ok := res[label(routing, rate, nf, s)]; ok && r.Err == nil && r.Results.Delivered > 0 {
+					scaled := float64(r.Results.QueuedTotal()) / float64(r.Results.Delivered) * 100000
+					sum += scaled
+					n++
+				}
+			}
+			if n == 0 {
+				return 0
+			}
+			return sum / float64(n)
+		}
+		fmt.Printf("%-8d%16.0f%16.0f%16.0f%16.0f\n", nf,
+			avg("adp", 100), avg("det", 100), avg("adp", 70), avg("det", 70))
+	}
+}

@@ -1,0 +1,174 @@
+// Command figures regenerates every figure of the paper's evaluation
+// section (Figs. 1, 3, 4, 5, 6, 7) from the simulator, printing the same
+// rows/series the paper plots.
+//
+//	figures -fig 3              # mean latency vs traffic, 8-ary 2-cube
+//	figures -fig 6 -seeds 5     # throughput vs faults, averaged placements
+//	figures -fig all -scale quick
+//
+// Scales: quick (2k measured messages/point), default (10k), full (90k —
+// the paper's 100,000-message protocol).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "figure to regenerate: 1|3|4|5|6|7|ext|all")
+		scale   = flag.String("scale", "default", "measurement scale: quick|default|full")
+		workers = flag.Int("workers", 0, "sweep workers (0 = GOMAXPROCS)")
+		seeds   = flag.Int("seeds", 3, "random fault placements averaged across figures")
+		csv     = flag.Bool("csv", false, "also print raw CSV rows per point")
+		plot    = flag.Bool("plot", false, "render ASCII charts under the latency tables")
+	)
+	flag.Parse()
+
+	sc, ok := scales[*scale]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "figures: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	h := &harness{scale: sc, workers: *workers, seeds: *seeds, csv: *csv, plot: *plot}
+
+	start := time.Now()
+	switch *fig {
+	case "1":
+		h.fig1()
+	case "3":
+		h.fig3()
+	case "4":
+		h.fig4()
+	case "5":
+		h.fig5()
+	case "6":
+		h.fig6()
+	case "7":
+		h.fig7()
+	case "ext":
+		h.figExt()
+	case "all":
+		h.fig1()
+		h.fig3()
+		h.fig4()
+		h.fig5()
+		h.fig6()
+		h.fig7()
+		h.figExt()
+	default:
+		fmt.Fprintf(os.Stderr, "figures: unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+	fmt.Printf("\n(total wall time %v)\n", time.Since(start).Round(time.Second))
+}
+
+// scaleSpec sets the measurement protocol; the paper's is warmup=10000,
+// measure=90000 ("a total of 100,000 messages ... first 10,000 inhibited").
+type scaleSpec struct {
+	warmup, measure int
+	thin            int // keep every thin-th lambda point (1 = all)
+}
+
+var scales = map[string]scaleSpec{
+	"quick":   {warmup: 200, measure: 2000, thin: 2},
+	"default": {warmup: 1000, measure: 10000, thin: 1},
+	"full":    {warmup: 10000, measure: 90000, thin: 1},
+}
+
+type harness struct {
+	scale   scaleSpec
+	workers int
+	seeds   int
+	csv     bool
+	plot    bool
+}
+
+// lambdaGrid returns the traffic-rate axis used for a V value, mirroring
+// the x-axis ranges of the paper's panels (V=4 to 0.014, V=6 to ~0.016-0.02,
+// V=10 to ~0.02).
+func (h *harness) lambdaGrid(v int) []float64 {
+	var grid []float64
+	switch {
+	case v <= 4:
+		grid = []float64{0.002, 0.004, 0.006, 0.008, 0.010, 0.012, 0.014}
+	case v <= 6:
+		grid = []float64{0.002, 0.004, 0.006, 0.008, 0.010, 0.012, 0.014, 0.016}
+	default:
+		grid = []float64{0.002, 0.004, 0.008, 0.012, 0.014, 0.016, 0.018, 0.020}
+	}
+	if h.scale.thin <= 1 {
+		return grid
+	}
+	var out []float64
+	for i, l := range grid {
+		if i%h.scale.thin == 0 || i == len(grid)-1 {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+func (h *harness) base(k, n int, lambda float64) core.Config {
+	c := core.DefaultConfig(k, n, lambda)
+	c.WarmupMessages = h.scale.warmup
+	c.MeasureMessages = h.scale.measure
+	return c
+}
+
+// run executes points and indexes results by label.
+func (h *harness) run(points []core.Point) map[string]core.PointResult {
+	res := core.RunSweep(points, h.workers)
+	out := make(map[string]core.PointResult, len(res))
+	for _, r := range res {
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "figures: point %s: %v\n", r.Label, r.Err)
+		}
+		out[r.Label] = r
+		if h.csv {
+			fmt.Printf("csv,%s,%.2f,%.6f,%d,%d,%v\n", r.Label,
+				r.Results.MeanLatency, r.Results.Throughput,
+				r.Results.QueuedFault, r.Results.QueuedVia, r.Results.Saturated)
+		}
+	}
+	return out
+}
+
+// latencyCell formats one latency entry; saturated points are flagged the
+// way the paper's curves go vertical.
+func latencyCell(r core.PointResult) string {
+	if r.Err != nil {
+		return "err"
+	}
+	if r.Results.Saturated {
+		return fmt.Sprintf("%.0f*", r.Results.MeanLatency)
+	}
+	return fmt.Sprintf("%.1f", r.Results.MeanLatency)
+}
+
+func printTable(title string, colNames []string, rowNames []string, cell func(row, col int) string) {
+	width := 14
+	for _, c := range colNames {
+		if len(c)+2 > width {
+			width = len(c) + 2
+		}
+	}
+	fmt.Printf("\n== %s ==\n", title)
+	fmt.Printf("%-10s", "lambda")
+	for _, c := range colNames {
+		fmt.Printf("%*s", width, c)
+	}
+	fmt.Println()
+	for i, rn := range rowNames {
+		fmt.Printf("%-10s", rn)
+		for j := range colNames {
+			fmt.Printf("%*s", width, cell(i, j))
+		}
+		fmt.Println()
+	}
+}

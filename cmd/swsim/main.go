@@ -1,0 +1,124 @@
+// Command swsim runs one Software-Based routing simulation point and prints
+// a result row.
+//
+// Examples:
+//
+//	swsim -k 8 -n 2 -v 4 -m 32 -lambda 0.006 -faults 3
+//	swsim -k 8 -n 3 -v 10 -m 32 -lambda 0.01 -faults 12 -adaptive
+//	swsim -k 8 -n 2 -v 10 -m 32 -lambda 0.012 -shape U -warmup 10000 -measure 90000
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+)
+
+func main() {
+	var (
+		k        = flag.Int("k", 8, "radix (nodes per dimension)")
+		n        = flag.Int("n", 2, "dimensions")
+		v        = flag.Int("v", 4, "virtual channels per physical channel")
+		m        = flag.Int("m", 32, "message length in flits")
+		buf      = flag.Int("buf", 2, "per-VC buffer depth in flits")
+		lambda   = flag.Float64("lambda", 0.004, "generation rate (messages/node/cycle)")
+		adaptive = flag.Bool("adaptive", false, "use adaptive (Duato) base routing")
+		faults   = flag.Int("faults", 0, "random faulty nodes")
+		shape    = flag.String("shape", "", "fault region shape: rect|T|plus|L|U (Fig. 5 configurations)")
+		pattern  = flag.String("pattern", "uniform", "traffic pattern: uniform|transpose|hotspot")
+		warmup   = flag.Int("warmup", 1000, "warm-up messages (unmeasured)")
+		measure  = flag.Int("measure", 10000, "measured message deliveries")
+		td       = flag.Int64("td", 0, "router decision time (cycles)")
+		delta    = flag.Int64("delta", 0, "software re-injection overhead (cycles)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		quiet    = flag.Bool("q", false, "print only the CSV row")
+		jsonOut  = flag.Bool("json", false, "emit config and results as JSON instead of CSV")
+	)
+	flag.Parse()
+
+	cfg := core.DefaultConfig(*k, *n, *lambda)
+	cfg.V = *v
+	cfg.MsgLen = *m
+	cfg.BufDepth = *buf
+	cfg.Adaptive = *adaptive
+	cfg.Pattern = *pattern
+	cfg.WarmupMessages = *warmup
+	cfg.MeasureMessages = *measure
+	cfg.Td = *td
+	cfg.Delta = *delta
+	cfg.Seed = *seed
+	cfg.Faults.RandomNodes = *faults
+	if *shape != "" {
+		spec, ok := fig5Shape(*shape)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "swsim: unknown shape %q (rect|T|plus|L|U)\n", *shape)
+			os.Exit(2)
+		}
+		cfg.Faults.Shapes = []core.ShapeStamp{{Spec: spec, DimA: 0, DimB: 1}}
+	}
+
+	start := time.Now()
+	res, err := core.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "swsim: %v\n", err)
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Config   core.Config
+			Results  any
+			WallTime string
+		}{cfg, res, elapsed.Round(time.Millisecond).String()}); err != nil {
+			fmt.Fprintf(os.Stderr, "swsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if !*quiet {
+		routing := "deterministic"
+		if *adaptive {
+			routing = "adaptive"
+		}
+		fmt.Printf("# %d-ary %d-cube, %s routing, V=%d, M=%d flits, λ=%g, faults=%d%s\n",
+			*k, *n, routing, *v, *m, *lambda, *faults, shapeNote(*shape))
+		fmt.Printf("# wall time: %v, simulated cycles: %d\n", elapsed.Round(time.Millisecond), res.Cycles)
+		fmt.Println("lambda,mean_latency,ci95,p50,p95,p99,throughput,accepted,delivered,queued_fault,queued_via,saturated")
+	}
+	fmt.Printf("%g,%.2f,%.2f,%.0f,%.0f,%.0f,%.6f,%.4f,%d,%d,%d,%v\n",
+		*lambda, res.MeanLatency, res.LatencyCI95, res.P50, res.P95, res.P99,
+		res.Throughput, res.AcceptedFraction, res.Delivered, res.QueuedFault, res.QueuedVia, res.Saturated)
+}
+
+func fig5Shape(name string) (fault.ShapeSpec, bool) {
+	specs := fault.PaperFig5Specs()
+	switch name {
+	case "rect":
+		return specs["rect-shaped"], true
+	case "T":
+		return specs["T-shaped"], true
+	case "plus":
+		return specs["Plus-shaped"], true
+	case "L":
+		return specs["L-shaped"], true
+	case "U":
+		return specs["U-shaped"], true
+	}
+	return fault.ShapeSpec{}, false
+}
+
+func shapeNote(s string) string {
+	if s == "" {
+		return ""
+	}
+	return ", region=" + s
+}

@@ -1,0 +1,43 @@
+// Adaptive_vs_det: reproduce the Fig. 6 experiment in miniature — network
+// throughput as faults accumulate, deterministic vs adaptive Software-Based
+// routing — and print the two series side by side.
+//
+//	go run ./examples/adaptive_vs_det
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+func main() {
+	// A 16-ary 2-cube offered load past its saturation point, so measured
+	// throughput is the network's delivery capacity (Fig. 6's protocol).
+	const lambda = 0.012
+	fmt.Println("Throughput (messages/node/cycle) vs random faulty nodes, 16-ary 2-cube, M=32, V=6:")
+	fmt.Printf("%-6s %14s %14s\n", "nf", "deterministic", "adaptive")
+	for nf := 0; nf <= 10; nf += 2 {
+		var thr [2]float64
+		for i, adaptive := range []bool{false, true} {
+			cfg := core.DefaultConfig(16, 2, lambda)
+			cfg.V = 6
+			cfg.Adaptive = adaptive
+			cfg.WarmupMessages = 500
+			cfg.MeasureMessages = 4000
+			cfg.Faults.RandomNodes = nf
+			cfg.Seed = 7
+			cfg.SaturationBacklog = 1 << 30 // capacity measurement: run the full horizon
+			cfg.MaxCycles = 160_000
+			res, err := core.Run(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			thr[i] = res.Throughput
+		}
+		fmt.Printf("%-6d %14.5f %14.5f\n", nf, thr[0], thr[1])
+	}
+	fmt.Println("\nAs in the paper's Fig. 6: throughput degrades only mildly with faults, and")
+	fmt.Println("adaptive routing outperforms deterministic because it avoids most absorptions.")
+}

@@ -1,0 +1,185 @@
+// Package core is the library façade: a declarative Config describing one
+// simulation experiment (topology, routing, virtual channels, faults,
+// workload, measurement protocol), a Run function executing it on the
+// flit-level engine, and a parallel sweep runner for the multi-point
+// parameter sweeps behind every figure of the paper.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/topology"
+)
+
+// ShapeStamp places one fault-region silhouette into a plane of the torus.
+type ShapeStamp struct {
+	// Spec is the silhouette and size (see fault.ShapeSpec).
+	Spec fault.ShapeSpec
+	// DimA, DimB span the plane the shape is stamped into.
+	DimA, DimB int
+	// Base fixes the remaining coordinates (node id; its DimA/DimB
+	// coordinates are ignored in favour of the spec anchors).
+	Base topology.NodeID
+}
+
+// FaultSpec describes the fault configuration of a run.
+type FaultSpec struct {
+	// RandomNodes places this many uniform random node faults, rejecting
+	// placements that disconnect the network (assumption (h)).
+	RandomNodes int
+	// Shapes stamps coalesced fault regions (Fig. 1 / Fig. 5 silhouettes).
+	Shapes []ShapeStamp
+	// Links fails individual bidirectional links (src node + outgoing port).
+	Links []struct {
+		Src  topology.NodeID
+		Port topology.Port
+	}
+}
+
+// Empty reports whether the spec describes a fault-free network.
+func (fs FaultSpec) Empty() bool {
+	return fs.RandomNodes == 0 && len(fs.Shapes) == 0 && len(fs.Links) == 0
+}
+
+// Config fully describes one simulation point. The zero value is not
+// runnable; start from DefaultConfig.
+type Config struct {
+	// K is the radix and N the dimensionality of the k-ary n-cube.
+	K, N int
+	// V is the number of virtual channels per physical channel (paper
+	// sweeps 4, 6, 10).
+	V int
+	// BufDepth is the per-VC flit buffer depth.
+	BufDepth int
+	// MsgLen is the fixed message length in flits (paper: 32, 64).
+	MsgLen int
+	// Lambda is the per-node Poisson generation rate in
+	// messages/node/cycle.
+	Lambda float64
+	// Adaptive selects Duato-based adaptive SW-Based routing; false is the
+	// deterministic (e-cube) base.
+	Adaptive bool
+	// Pattern names the destination pattern: "uniform" (paper), or
+	// "transpose"/"hotspot" for the extended experiments.
+	Pattern string
+	// HotspotFrac is the hotspot probability when Pattern == "hotspot".
+	HotspotFrac float64
+	// Faults is the fault configuration.
+	Faults FaultSpec
+	// WarmupMessages are generated-but-unmeasured messages (paper: 10,000).
+	WarmupMessages int
+	// MeasureMessages is the measured delivery quota ending the run
+	// (paper: 90,000 after warm-up; reduced defaults keep sweeps fast).
+	MeasureMessages int
+	// MaxCycles bounds the run; 0 derives a bound from the quota and rate.
+	MaxCycles int64
+	// Td is the router decision time; Delta the software re-injection
+	// overhead (both 0 in the paper's experiments).
+	Td, Delta int64
+	// SaturationBacklog stops the run early (marked saturated) once source
+	// queues hold this many messages; 0 derives 16×nodes.
+	SaturationBacklog int
+	// Escalation bounds the rerouting heuristics: after this many
+	// absorptions a message is routed by the exact planner (0 = default).
+	// Ablation knob.
+	Escalation int
+	// NoReinjectPriority disables the priority of absorbed messages over
+	// new traffic. Ablation knob for the paper's starvation argument.
+	NoReinjectPriority bool
+	// LinkLatency is the flit time across a physical channel (default 1,
+	// the paper's assumption (g)); CreditDelay the credit return time
+	// (default 1). Ablation knobs for wire-dominated designs.
+	LinkLatency, CreditDelay int64
+	// Seed makes the run reproducible.
+	Seed uint64
+}
+
+// DefaultConfig returns the paper's baseline configuration for a k-ary
+// n-cube at the given load: V=4, 32-flit messages, uniform traffic,
+// measurement protocol scaled down (1k warm-up, 10k measured) for
+// interactive use. Full-paper scale is a matter of raising
+// WarmupMessages/MeasureMessages to 10k/90k.
+func DefaultConfig(k, n int, lambda float64) Config {
+	return Config{
+		K: k, N: n,
+		V:               4,
+		BufDepth:        2,
+		MsgLen:          32,
+		Lambda:          lambda,
+		Pattern:         "uniform",
+		WarmupMessages:  1000,
+		MeasureMessages: 10000,
+		Seed:            1,
+	}
+}
+
+// Validate checks the configuration for consistency.
+func (c Config) Validate() error {
+	switch {
+	case c.K < 2:
+		return fmt.Errorf("core: radix K must be >= 2, got %d", c.K)
+	case c.N < 1:
+		return fmt.Errorf("core: dimension N must be >= 1, got %d", c.N)
+	case !c.Adaptive && c.V < 2:
+		return fmt.Errorf("core: deterministic routing needs V >= 2, got %d", c.V)
+	case c.Adaptive && c.V < 3:
+		return fmt.Errorf("core: adaptive routing needs V >= 3, got %d", c.V)
+	case c.BufDepth < 1:
+		return fmt.Errorf("core: BufDepth must be >= 1, got %d", c.BufDepth)
+	case c.MsgLen < 1:
+		return fmt.Errorf("core: MsgLen must be >= 1, got %d", c.MsgLen)
+	case c.Lambda <= 0:
+		return fmt.Errorf("core: Lambda must be positive, got %g", c.Lambda)
+	case c.MeasureMessages < 1:
+		return fmt.Errorf("core: MeasureMessages must be >= 1, got %d", c.MeasureMessages)
+	case c.WarmupMessages < 0:
+		return fmt.Errorf("core: WarmupMessages must be >= 0, got %d", c.WarmupMessages)
+	case c.Td < 0 || c.Delta < 0:
+		return fmt.Errorf("core: Td and Delta must be >= 0")
+	}
+	switch c.Pattern {
+	case "", "uniform", "transpose", "hotspot":
+	default:
+		return fmt.Errorf("core: unknown traffic pattern %q", c.Pattern)
+	}
+	faulty := c.Faults.RandomNodes
+	for _, s := range c.Faults.Shapes {
+		n, err := s.Spec.CellCount()
+		if err != nil {
+			return fmt.Errorf("core: bad shape: %w", err)
+		}
+		faulty += n
+	}
+	total := 1
+	for i := 0; i < c.N; i++ {
+		total *= c.K
+	}
+	if faulty >= total {
+		return fmt.Errorf("core: %d faults in a %d-node network", faulty, total)
+	}
+	return nil
+}
+
+// maxCycles derives the run bound when Config.MaxCycles is zero: twenty
+// times the ideal time to generate the quota, floored generously.
+func (c Config) maxCycles(nodes int) int64 {
+	if c.MaxCycles > 0 {
+		return c.MaxCycles
+	}
+	quota := float64(c.WarmupMessages + c.MeasureMessages)
+	ideal := quota / (c.Lambda * float64(nodes))
+	bound := int64(20 * ideal)
+	if bound < 500_000 {
+		bound = 500_000
+	}
+	return bound
+}
+
+// saturationBacklog derives the early-stop backlog threshold.
+func (c Config) saturationBacklog(nodes int) int {
+	if c.SaturationBacklog > 0 {
+		return c.SaturationBacklog
+	}
+	return 16 * nodes
+}

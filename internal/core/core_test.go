@@ -1,0 +1,215 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/topology"
+)
+
+func TestValidate(t *testing.T) {
+	good := DefaultConfig(8, 2, 0.003)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []func(c *Config){
+		func(c *Config) { c.K = 1 },
+		func(c *Config) { c.N = 0 },
+		func(c *Config) { c.V = 1 },
+		func(c *Config) { c.V = 2; c.Adaptive = true },
+		func(c *Config) { c.BufDepth = 0 },
+		func(c *Config) { c.MsgLen = 0 },
+		func(c *Config) { c.Lambda = 0 },
+		func(c *Config) { c.MeasureMessages = 0 },
+		func(c *Config) { c.WarmupMessages = -1 },
+		func(c *Config) { c.Td = -1 },
+		func(c *Config) { c.Pattern = "bursty" },
+		func(c *Config) { c.Faults.RandomNodes = 64 },
+	}
+	for i, mutate := range bad {
+		c := DefaultConfig(8, 2, 0.003)
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestBuildFaultsRandomAndShapes(t *testing.T) {
+	tor := topology.New(8, 2)
+	spec := FaultSpec{
+		RandomNodes: 3,
+		Shapes: []ShapeStamp{{
+			Spec: fault.ShapeSpec{Shape: fault.ShapeBar, A: 2, AnchorA: 6, AnchorB: 6},
+			DimA: 0, DimB: 1,
+		}},
+	}
+	fs, err := BuildFaults(tor, spec, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.NumNodeFaults() < 5 {
+		t.Fatalf("faults = %d, want >= 5", fs.NumNodeFaults())
+	}
+	if fs.Disconnects() {
+		t.Fatal("disconnecting configuration returned")
+	}
+	// Deterministic given the seed.
+	fs2, err := BuildFaults(tor, spec, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := fs.FaultyNodes(), fs2.FaultyNodes()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("fault build not deterministic")
+		}
+	}
+}
+
+func TestBuildFaultsEmpty(t *testing.T) {
+	tor := topology.New(4, 2)
+	fs, err := BuildFaults(tor, FaultSpec{}, 1)
+	if err != nil || fs.NumNodeFaults() != 0 {
+		t.Fatalf("empty spec: %v, %d faults", err, fs.NumNodeFaults())
+	}
+	if !(FaultSpec{}).Empty() {
+		t.Fatal("Empty() wrong")
+	}
+}
+
+func TestRunSmokeFaultFree(t *testing.T) {
+	c := DefaultConfig(4, 2, 0.01)
+	c.WarmupMessages = 100
+	c.MeasureMessages = 500
+	res, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Saturated {
+		t.Fatal("low load run saturated")
+	}
+	if res.Delivered < 500 {
+		t.Fatalf("delivered %d < quota", res.Delivered)
+	}
+	if res.MeanLatency < float64(c.MsgLen) {
+		t.Fatalf("mean latency %.1f below message length", res.MeanLatency)
+	}
+	if res.QueuedTotal() != 0 {
+		t.Fatal("software stops in fault-free run")
+	}
+	if res.Throughput <= 0 {
+		t.Fatal("throughput not positive")
+	}
+}
+
+func TestRunWithFaultsBothModes(t *testing.T) {
+	for _, adaptive := range []bool{false, true} {
+		c := DefaultConfig(8, 2, 0.004)
+		c.Adaptive = adaptive
+		c.V = 4
+		c.WarmupMessages = 100
+		c.MeasureMessages = 1000
+		c.Faults.RandomNodes = 5
+		c.Seed = 7
+		res, err := Run(c)
+		if err != nil {
+			t.Fatalf("adaptive=%v: %v", adaptive, err)
+		}
+		if res.Delivered < 1000 {
+			t.Fatalf("adaptive=%v: delivered %d", adaptive, res.Delivered)
+		}
+		if res.Dropped != 0 {
+			t.Fatalf("adaptive=%v: dropped %d", adaptive, res.Dropped)
+		}
+		if res.QueuedTotal() == 0 {
+			t.Fatalf("adaptive=%v: no absorptions with 5 faults", adaptive)
+		}
+	}
+}
+
+func TestRunSaturates(t *testing.T) {
+	c := DefaultConfig(4, 2, 0.5) // absurd load: must saturate quickly
+	c.WarmupMessages = 100
+	c.MeasureMessages = 50000
+	c.MaxCycles = 30000
+	res, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Saturated {
+		t.Fatal("overloaded run not flagged saturated")
+	}
+	if res.AcceptedFraction >= 1 {
+		t.Fatalf("accepted fraction %v at 25x saturation load", res.AcceptedFraction)
+	}
+}
+
+func TestRunDeterministicAcrossCalls(t *testing.T) {
+	c := DefaultConfig(8, 2, 0.003)
+	c.WarmupMessages = 50
+	c.MeasureMessages = 400
+	c.Faults.RandomNodes = 3
+	r1, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatalf("same config, different results:\n%+v\n%+v", r1, r2)
+	}
+}
+
+func TestSweepMatchesSerialAndParallel(t *testing.T) {
+	var points []Point
+	for _, lambda := range []float64{0.002, 0.004} {
+		for _, ad := range []bool{false, true} {
+			c := DefaultConfig(4, 2, lambda)
+			c.WarmupMessages = 50
+			c.MeasureMessages = 300
+			c.Adaptive = ad
+			if ad {
+				c.V = 4
+			}
+			points = append(points, Point{Label: "p", Config: c})
+		}
+	}
+	serial := RunSweep(points, 1)
+	parallel := RunSweep(points, 4)
+	for i := range serial {
+		if serial[i].Err != nil || parallel[i].Err != nil {
+			t.Fatalf("sweep error: %v / %v", serial[i].Err, parallel[i].Err)
+		}
+		if serial[i].Results != parallel[i].Results {
+			t.Fatalf("point %d differs between serial and parallel", i)
+		}
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	c := DefaultConfig(8, 2, 0.003)
+	c.V = 0
+	if _, err := Run(c); err == nil || !strings.Contains(err.Error(), "V >= 2") {
+		t.Fatalf("bad config not rejected: %v", err)
+	}
+}
+
+func TestPatterns(t *testing.T) {
+	for _, p := range []string{"uniform", "transpose", "hotspot"} {
+		c := DefaultConfig(4, 2, 0.01)
+		c.Pattern = p
+		c.WarmupMessages = 20
+		c.MeasureMessages = 200
+		res, err := Run(c)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if res.Delivered < 200 {
+			t.Fatalf("%s: delivered %d", p, res.Delivered)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package core
+
+import "testing"
+
+func TestRunReplicatedAggregates(t *testing.T) {
+	cfg := DefaultConfig(8, 2, 0.004)
+	cfg.WarmupMessages = 50
+	cfg.MeasureMessages = 800
+	cfg.Faults.RandomNodes = 3
+	rep, err := RunReplicated(cfg, 4, 500, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Replications != 4 || len(rep.Runs) != 4 {
+		t.Fatalf("replications = %d", rep.Replications)
+	}
+	if rep.MeanLatency <= 0 || rep.Throughput <= 0 {
+		t.Fatalf("aggregates not positive: %+v", rep)
+	}
+	if rep.LatencyCI <= 0 {
+		t.Fatal("CI should be positive across different placements")
+	}
+	if rep.QueuedPerMessage <= 0 {
+		t.Fatal("queued/msg should be positive with 3 faults")
+	}
+	if rep.String() == "" {
+		t.Fatal("empty String")
+	}
+	// Different seeds must actually differ (placements vary).
+	same := true
+	for _, r := range rep.Runs[1:] {
+		if r.MeanLatency != rep.Runs[0].MeanLatency {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("all replications identical; seeds not applied")
+	}
+}
+
+func TestRunReplicatedValidation(t *testing.T) {
+	cfg := DefaultConfig(8, 2, 0.004)
+	if _, err := RunReplicated(cfg, 0, 1, 1); err == nil {
+		t.Fatal("r=0 accepted")
+	}
+	bad := cfg
+	bad.V = 0
+	if _, err := RunReplicated(bad, 2, 1, 1); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/message"
+	"repro/internal/metrics"
+	"repro/internal/network"
+	"repro/internal/rng"
+	"repro/internal/routing"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// BuildFaults materialises a fault specification on the torus. Random
+// placement derives its stream from seed; stamped shapes are deterministic.
+// The resulting configuration is rejected if it disconnects the network.
+func BuildFaults(t *topology.Torus, spec FaultSpec, seed uint64) (*fault.Set, error) {
+	r := rng.New(seed).Split(0xfa017)
+	var fs *fault.Set
+	if spec.RandomNodes > 0 {
+		var err error
+		fs, err = fault.Random(t, spec.RandomNodes, r, fault.DefaultRandomOptions())
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		fs = fault.NewSet(t)
+	}
+	for _, s := range spec.Shapes {
+		if _, err := fault.StampShape(fs, s.Base, s.DimA, s.DimB, s.Spec); err != nil {
+			return nil, err
+		}
+	}
+	for _, l := range spec.Links {
+		fs.MarkLink(l.Src, l.Port)
+	}
+	if fs.Disconnects() {
+		return nil, fmt.Errorf("core: fault specification disconnects the network")
+	}
+	return fs, nil
+}
+
+// buildPattern constructs the destination pattern named by the config.
+func buildPattern(c Config, t *topology.Torus, fs *fault.Set) (traffic.Pattern, error) {
+	switch c.Pattern {
+	case "", "uniform":
+		return traffic.NewUniform(fs), nil
+	case "transpose":
+		return traffic.NewTranspose(t, fs), nil
+	case "hotspot":
+		frac := c.HotspotFrac
+		if frac <= 0 {
+			frac = 0.1
+		}
+		healthy := fs.HealthyNodes()
+		return traffic.NewHotspot(traffic.NewUniform(fs), healthy[len(healthy)/2], frac, fs), nil
+	default:
+		return nil, fmt.Errorf("core: unknown traffic pattern %q", c.Pattern)
+	}
+}
+
+// Run executes one simulation point to completion and returns its measured
+// results. The run ends when the measured delivery quota is met, or is cut
+// short (and flagged saturated) when the cycle bound or the source-backlog
+// threshold is hit.
+func Run(c Config) (metrics.Results, error) {
+	if err := c.Validate(); err != nil {
+		return metrics.Results{}, err
+	}
+	t := topology.New(c.K, c.N)
+	fs, err := BuildFaults(t, c.Faults, c.Seed)
+	if err != nil {
+		return metrics.Results{}, err
+	}
+	var alg *routing.Algorithm
+	mode := message.Deterministic
+	if c.Adaptive {
+		alg, err = routing.NewAdaptive(t, fs, c.V)
+		mode = message.Adaptive
+	} else {
+		alg, err = routing.NewDeterministic(t, fs, c.V)
+	}
+	if err != nil {
+		return metrics.Results{}, err
+	}
+	if c.Escalation > 0 {
+		alg.SetEscalation(c.Escalation)
+	}
+	pattern, err := buildPattern(c, t, fs)
+	if err != nil {
+		return metrics.Results{}, err
+	}
+	r := rng.New(c.Seed)
+	sources := fs.HealthyNodes()
+	gen := traffic.NewGenerator(t, sources, c.Lambda, c.MsgLen, mode, pattern, r.Split(1))
+	col := metrics.NewCollector(c.WarmupMessages)
+	params := network.Params{
+		V:                  c.V,
+		BufDepth:           c.BufDepth,
+		Td:                 c.Td,
+		Delta:              c.Delta,
+		NoReinjectPriority: c.NoReinjectPriority,
+		LinkLatency:        c.LinkLatency,
+		CreditDelay:        c.CreditDelay,
+	}
+	nw := network.New(t, fs, alg, gen, col, params, r.Split(2))
+
+	quota := uint64(c.MeasureMessages)
+	limit := c.maxCycles(len(sources))
+	backlogLimit := c.saturationBacklog(len(sources))
+	saturated := false
+	for col.DeliveredCount() < quota {
+		if nw.Now() >= limit {
+			saturated = true
+			break
+		}
+		nw.Step()
+		if nw.Now()%1024 == 0 && nw.Backlog() > backlogLimit {
+			saturated = true
+			break
+		}
+	}
+	return col.Finalize(nw.Now(), len(sources), saturated), nil
+}

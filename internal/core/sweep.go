@@ -1,0 +1,63 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// Point is one labelled simulation configuration inside a sweep.
+type Point struct {
+	// Label identifies the point in reports (e.g. "det V=4 M=32 nf=3
+	// λ=0.006").
+	Label string
+	// Config is the full simulation configuration.
+	Config Config
+}
+
+// PointResult pairs a sweep point with its outcome.
+type PointResult struct {
+	Point
+	Results metrics.Results
+	Err     error
+}
+
+// RunSweep executes every point, fanning out over a worker pool. Each
+// engine instance is single-goroutine and deterministic, so results are
+// identical to serial execution regardless of worker count. workers <= 0
+// uses GOMAXPROCS.
+func RunSweep(points []Point, workers int) []PointResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(points) {
+		workers = len(points)
+	}
+	results := make([]PointResult, len(points))
+	if workers <= 1 {
+		for i, p := range points {
+			res, err := Run(p.Config)
+			results[i] = PointResult{Point: p, Results: res, Err: err}
+		}
+		return results
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				res, err := Run(points[i].Config)
+				results[i] = PointResult{Point: points[i], Results: res, Err: err}
+			}
+		}()
+	}
+	for i := range points {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return results
+}

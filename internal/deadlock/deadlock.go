@@ -1,0 +1,224 @@
+// Package deadlock mechanically checks the deadlock-freedom argument of §4
+// of the paper: the (extended) channel dependency graph of the routing
+// relation must be acyclic (Dally & Seitz; Duato).
+//
+// Vertices are (physical channel, virtual-channel class) pairs. A wormhole
+// message holding one channel and requesting the next creates a dependency
+// edge between consecutive (channel, class) pairs along its path. The
+// checker ingests concrete paths — fault-free e-cube paths, reversed ring
+// runs, via-chain segments produced by the Software-Based planner — and
+// reports acyclicity, with a cycle witness for diagnostics.
+package deadlock
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/topology"
+)
+
+// VC is a vertex of the extended channel dependency graph: one dateline
+// class bank of one unidirectional physical channel.
+type VC struct {
+	Ch    topology.ChannelID
+	Class int
+}
+
+func (v VC) String() string { return fmt.Sprintf("%v/c%d", v.Ch, v.Class) }
+
+// Graph is a channel dependency graph under construction. Not safe for
+// concurrent mutation.
+type Graph struct {
+	adj map[VC]map[VC]struct{}
+}
+
+// NewGraph returns an empty dependency graph.
+func NewGraph() *Graph { return &Graph{adj: make(map[VC]map[VC]struct{})} }
+
+// AddEdge records a dependency a -> b (holding a while requesting b).
+func (g *Graph) AddEdge(a, b VC) {
+	if g.adj[a] == nil {
+		g.adj[a] = make(map[VC]struct{})
+	}
+	g.adj[a][b] = struct{}{}
+	if g.adj[b] == nil {
+		g.adj[b] = make(map[VC]struct{})
+	}
+}
+
+// Size returns the number of vertices and edges.
+func (g *Graph) Size() (vertices, edges int) {
+	for _, out := range g.adj {
+		edges += len(out)
+	}
+	return len(g.adj), edges
+}
+
+// ClassifyPath computes, for each hop of a worm's path, the dateline
+// virtual-channel class the routing algorithms assign: class 0 until the
+// worm crosses a ring's wraparound edge in that dimension, class 1 on and
+// after the crossing. A worm's dateline state is per dimension and resets
+// only at (re-)injection, so a single call corresponds to a single worm
+// segment between software stops.
+func ClassifyPath(t *topology.Torus, path []topology.NodeID) ([]int, error) {
+	classes := make([]int, 0, len(path)-1)
+	crossed := make([]bool, t.N())
+	for i := 1; i < len(path); i++ {
+		dim, dir, ok := hop(t, path[i-1], path[i])
+		if !ok {
+			return nil, fmt.Errorf("deadlock: nodes %d and %d not adjacent", path[i-1], path[i])
+		}
+		wrap := t.WrapsAround(t.Coord(path[i-1], dim), dir)
+		if crossed[dim] || wrap {
+			classes = append(classes, 1)
+		} else {
+			classes = append(classes, 0)
+		}
+		if wrap {
+			crossed[dim] = true
+		}
+	}
+	return classes, nil
+}
+
+// AddWormPath ingests a worm segment: consecutive hops become dependency
+// edges between their (channel, class) vertices.
+func (g *Graph) AddWormPath(t *topology.Torus, path []topology.NodeID) error {
+	classes, err := ClassifyPath(t, path)
+	if err != nil {
+		return err
+	}
+	var prev *VC
+	for i := 1; i < len(path); i++ {
+		dim, dir, _ := hop(t, path[i-1], path[i])
+		v := VC{
+			Ch:    topology.ChannelID{Src: path[i-1], Port: topology.PortFor(dim, dir)},
+			Class: classes[i-1],
+		}
+		if prev != nil {
+			g.AddEdge(*prev, v)
+		} else if g.adj[v] == nil {
+			g.adj[v] = make(map[VC]struct{})
+		}
+		pv := v
+		prev = &pv
+	}
+	return nil
+}
+
+func hop(t *topology.Torus, a, b topology.NodeID) (int, topology.Dir, bool) {
+	for d := 0; d < t.N(); d++ {
+		if t.Neighbor(a, d, topology.Plus) == b {
+			return d, topology.Plus, true
+		}
+		if t.Neighbor(a, d, topology.Minus) == b {
+			return d, topology.Minus, true
+		}
+	}
+	return 0, 0, false
+}
+
+// Cycle returns a dependency cycle as a vertex sequence (first == last), or
+// nil if the graph is acyclic. Iteration order is made deterministic by
+// sorting vertices.
+func (g *Graph) Cycle() []VC {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[VC]int, len(g.adj))
+	parent := make(map[VC]VC)
+
+	vertices := make([]VC, 0, len(g.adj))
+	for v := range g.adj {
+		vertices = append(vertices, v)
+	}
+	sort.Slice(vertices, func(i, j int) bool {
+		a, b := vertices[i], vertices[j]
+		if a.Ch.Src != b.Ch.Src {
+			return a.Ch.Src < b.Ch.Src
+		}
+		if a.Ch.Port != b.Ch.Port {
+			return a.Ch.Port < b.Ch.Port
+		}
+		return a.Class < b.Class
+	})
+
+	var cycle []VC
+	var dfs func(v VC) bool
+	dfs = func(v VC) bool {
+		color[v] = grey
+		outs := make([]VC, 0, len(g.adj[v]))
+		for w := range g.adj[v] {
+			outs = append(outs, w)
+		}
+		sort.Slice(outs, func(i, j int) bool {
+			a, b := outs[i], outs[j]
+			if a.Ch.Src != b.Ch.Src {
+				return a.Ch.Src < b.Ch.Src
+			}
+			if a.Ch.Port != b.Ch.Port {
+				return a.Ch.Port < b.Ch.Port
+			}
+			return a.Class < b.Class
+		})
+		for _, w := range outs {
+			switch color[w] {
+			case white:
+				parent[w] = v
+				if dfs(w) {
+					return true
+				}
+			case grey:
+				// Reconstruct the cycle w -> ... -> v -> w.
+				cycle = []VC{w}
+				for at := v; at != w; at = parent[at] {
+					cycle = append(cycle, at)
+				}
+				cycle = append(cycle, w)
+				// Reverse into forward edge order.
+				for i, j := 0, len(cycle)-1; i < j; i, j = i+1, j-1 {
+					cycle[i], cycle[j] = cycle[j], cycle[i]
+				}
+				return true
+			}
+		}
+		color[v] = black
+		return false
+	}
+	for _, v := range vertices {
+		if color[v] == white && dfs(v) {
+			return cycle
+		}
+	}
+	return nil
+}
+
+// Acyclic reports whether the dependency graph has no cycle.
+func (g *Graph) Acyclic() bool { return g.Cycle() == nil }
+
+// BuildEcube constructs the full e-cube dependency graph of a torus: every
+// ordered healthy (src, dst) pair contributes its dimension-order path.
+// This is the relation the deterministic algorithm uses between software
+// stops; its acyclicity is the §4 deadlock-freedom claim for the
+// deterministic base.
+func BuildEcube(t *topology.Torus, healthy func(topology.NodeID) bool) (*Graph, error) {
+	g := NewGraph()
+	for s := 0; s < t.Nodes(); s++ {
+		src := topology.NodeID(s)
+		if healthy != nil && !healthy(src) {
+			continue
+		}
+		for d := 0; d < t.Nodes(); d++ {
+			dst := topology.NodeID(d)
+			if src == dst || (healthy != nil && !healthy(dst)) {
+				continue
+			}
+			if err := g.AddWormPath(t, t.EcubePath(src, dst)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,219 @@
+package deadlock
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/message"
+	"repro/internal/rng"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+func TestTrivialCycleDetected(t *testing.T) {
+	g := NewGraph()
+	a := VC{Ch: topology.ChannelID{Src: 0, Port: 0}, Class: 0}
+	b := VC{Ch: topology.ChannelID{Src: 1, Port: 0}, Class: 0}
+	g.AddEdge(a, b)
+	if !g.Acyclic() {
+		t.Fatal("single edge reported cyclic")
+	}
+	g.AddEdge(b, a)
+	if g.Acyclic() {
+		t.Fatal("2-cycle not detected")
+	}
+	cyc := g.Cycle()
+	if len(cyc) != 3 || cyc[0] != cyc[len(cyc)-1] {
+		t.Fatalf("cycle witness malformed: %v", cyc)
+	}
+}
+
+func TestLongerCycleWitness(t *testing.T) {
+	g := NewGraph()
+	mk := func(i int) VC { return VC{Ch: topology.ChannelID{Src: topology.NodeID(i), Port: 0}} }
+	for i := 0; i < 5; i++ {
+		g.AddEdge(mk(i), mk((i+1)%5))
+	}
+	cyc := g.Cycle()
+	if cyc == nil {
+		t.Fatal("5-cycle not found")
+	}
+	if len(cyc) != 6 {
+		t.Fatalf("witness length = %d, want 6", len(cyc))
+	}
+}
+
+// Without dateline classes a torus ring's e-cube CDG is cyclic; with them it
+// must be acyclic. This is the heart of the Dally-Seitz construction the
+// paper's deterministic base relies on.
+func TestRingWithoutClassesIsCyclic(t *testing.T) {
+	tor := topology.New(4, 1)
+	g := NewGraph()
+	// Force all traffic onto one class: emulate class-less channels by
+	// mapping every hop to class 0 manually.
+	for s := 0; s < 4; s++ {
+		for d := 0; d < 4; d++ {
+			if s == d {
+				continue
+			}
+			path := tor.EcubePath(topology.NodeID(s), topology.NodeID(d))
+			var prev *VC
+			for i := 1; i < len(path); i++ {
+				dimDirPort := func(a, b topology.NodeID) topology.Port {
+					if tor.Neighbor(a, 0, topology.Plus) == b {
+						return topology.PortFor(0, topology.Plus)
+					}
+					return topology.PortFor(0, topology.Minus)
+				}
+				v := VC{Ch: topology.ChannelID{Src: path[i-1], Port: dimDirPort(path[i-1], path[i])}, Class: 0}
+				if prev != nil {
+					g.AddEdge(*prev, v)
+				}
+				pv := v
+				prev = &pv
+			}
+		}
+	}
+	if g.Acyclic() {
+		t.Fatal("class-less ring CDG should be cyclic")
+	}
+}
+
+func TestEcubeCDGAcyclicFaultFree(t *testing.T) {
+	for _, tor := range []*topology.Torus{
+		topology.New(4, 1),
+		topology.New(8, 2),
+		topology.New(4, 3),
+	} {
+		g, err := BuildEcube(tor, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cyc := g.Cycle(); cyc != nil {
+			t.Fatalf("%v: e-cube CDG cyclic: %v", tor, cyc)
+		}
+		v, e := g.Size()
+		if v == 0 || e == 0 {
+			t.Fatalf("%v: empty graph", tor)
+		}
+	}
+}
+
+func TestEcubeCDGAcyclicWithFaults(t *testing.T) {
+	tor := topology.New(8, 2)
+	fs, err := fault.Random(tor, 5, rng.New(9), fault.DefaultRandomOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := BuildEcube(tor, func(id topology.NodeID) bool { return !fs.NodeFaulty(id) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cyc := g.Cycle(); cyc != nil {
+		t.Fatalf("faulted e-cube CDG cyclic: %v", cyc)
+	}
+}
+
+func TestClassifyPathWrap(t *testing.T) {
+	tor := topology.New(4, 1)
+	// 2 -> 3 -> 0 -> 1: hops classes 0, 1 (crossing), 1 (after).
+	path := []topology.NodeID{2, 3, 0, 1}
+	classes, err := ClassifyPath(tor, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 1}
+	for i := range want {
+		if classes[i] != want[i] {
+			t.Fatalf("classes = %v, want %v", classes, want)
+		}
+	}
+	if _, err := ClassifyPath(tor, []topology.NodeID{0, 2}); err == nil {
+		t.Fatal("non-adjacent hop not rejected")
+	}
+}
+
+// The strongest empirical check: run the actual Software-Based walker over
+// random fault patterns, collect every in-network worm segment (between
+// software stops), and assert the dependency graph of everything that was
+// actually used stays acyclic.
+func TestSWBasedSegmentsCDGAcyclic(t *testing.T) {
+	tor := topology.New(8, 2)
+	r := rng.New(4242)
+	for trial := 0; trial < 10; trial++ {
+		nf := 1 + r.Intn(8)
+		fs, err := fault.Random(tor, nf, r.Split(uint64(trial)), fault.DefaultRandomOptions())
+		if err != nil {
+			continue
+		}
+		alg, err := routing.NewDeterministic(tor, fs, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := NewGraph()
+		healthy := fs.HealthyNodes()
+		for i := 0; i < 150; i++ {
+			src := healthy[r.Intn(len(healthy))]
+			dst := healthy[r.Intn(len(healthy))]
+			if src == dst {
+				continue
+			}
+			m := message.New(uint64(i), src, dst, 16, tor.N(), message.Deterministic, 0)
+			segs := collectSegments(t, alg, m, 20*tor.Nodes())
+			for _, seg := range segs {
+				if len(seg) >= 2 {
+					if err := g.AddWormPath(tor, seg); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		if cyc := g.Cycle(); cyc != nil {
+			t.Fatalf("trial %d (nf=%d): used-segment CDG cyclic: %v", trial, nf, cyc)
+		}
+	}
+}
+
+// collectSegments replays the routing algorithm hop by hop and slices the
+// trajectory at software stops (via arrivals and fault absorptions), where
+// the worm leaves the network and channel dependencies are broken.
+func collectSegments(tb testing.TB, a *routing.Algorithm, m *message.Message, maxSteps int) [][]topology.NodeID {
+	tb.Helper()
+	tor := a.Topology()
+	cur := m.Src
+	seg := []topology.NodeID{cur}
+	var segs [][]topology.NodeID
+	for step := 0; step < maxSteps; step++ {
+		dec := a.Route(cur, m)
+		switch dec.Outcome {
+		case routing.Deliver:
+			segs = append(segs, seg)
+			return segs
+		case routing.ViaArrived:
+			segs = append(segs, seg)
+			seg = []topology.NodeID{cur}
+			m.PopViasAt(cur)
+			m.ResetForReinjection()
+		case routing.AbsorbFault:
+			segs = append(segs, seg)
+			seg = []topology.NodeID{cur}
+			if !a.Plan(cur, m, dec.BlockedDim, dec.BlockedDir) {
+				tb.Fatal("planner failed")
+			}
+			m.ResetForReinjection()
+		case routing.Progress:
+			cand := dec.Preferred
+			if len(cand) == 0 {
+				cand = dec.Fallback
+			}
+			port := cand[0].Port
+			if tor.WrapsAround(tor.Coord(cur, port.Dim()), port.Dir()) {
+				m.Crossed[port.Dim()] = true
+			}
+			cur = tor.Neighbor(cur, port.Dim(), port.Dir())
+			seg = append(seg, cur)
+		}
+	}
+	tb.Fatal("walker did not finish")
+	return nil
+}

@@ -1,0 +1,176 @@
+package diagnosis
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+func TestLocalDetectionAtStart(t *testing.T) {
+	tor := topology.New(8, 2)
+	fs := fault.NewSet(tor)
+	bad := tor.FromCoords([]int{3, 3})
+	fs.MarkNode(bad)
+	p := New(tor, fs)
+	// Every neighbour starts knowing the fault; distant nodes do not.
+	for d := 0; d < 2; d++ {
+		for _, dir := range []topology.Dir{topology.Plus, topology.Minus} {
+			nb := tor.Neighbor(bad, d, dir)
+			if !p.Knows(nb, bad) {
+				t.Errorf("neighbour %v does not know adjacent fault", tor.Coords(nb))
+			}
+		}
+	}
+	far := tor.FromCoords([]int{0, 0})
+	if p.Knows(far, bad) {
+		t.Error("distant node knows fault before any exchange")
+	}
+	if p.View(bad) != nil {
+		t.Error("faulty node has a view")
+	}
+}
+
+func TestFloodingReachesEveryone(t *testing.T) {
+	tor := topology.New(8, 2)
+	fs, err := fault.Random(tor, 5, rng.New(3), fault.DefaultRandomOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(tor, fs)
+	rounds := p.Run(100)
+	// Convergence within (diameter + 1) rounds of the healthy network;
+	// diameter of the fault-free 8-ary 2-cube is 8.
+	if rounds > 12 {
+		t.Fatalf("converged only after %d rounds", rounds)
+	}
+	for _, h := range fs.HealthyNodes() {
+		view := p.View(h)
+		if len(view) != fs.NumNodeFaults() {
+			t.Fatalf("node %d knows %d faults, want %d", h, len(view), fs.NumNodeFaults())
+		}
+	}
+}
+
+func TestKnowledgeRadiusGrowsOneHopPerRound(t *testing.T) {
+	tor := topology.New(8, 1) // a ring makes distances exact
+	fs := fault.NewSet(tor)
+	fs.MarkNode(0)
+	p := New(tor, fs)
+	// Node 4 (distance 4 from node 0's neighbours 1 and 7... knowledge must
+	// travel from node 1 to node 4: 3 hops) learns after 3 rounds.
+	if p.Knows(4, 0) {
+		t.Fatal("node 4 knows too early")
+	}
+	p.Step()
+	p.Step()
+	if p.Knows(4, 0) {
+		t.Fatal("node 4 knows after 2 rounds; propagation too fast")
+	}
+	p.Step()
+	if !p.Knows(4, 0) {
+		t.Fatal("node 4 still ignorant after 3 rounds")
+	}
+}
+
+func TestBoundaryNodes(t *testing.T) {
+	tor := topology.New(8, 2)
+	fs := fault.NewSet(tor)
+	if _, err := fault.StampShape(fs, 0, 0, 1, fault.ShapeSpec{Shape: fault.ShapeRect, A: 2, B: 2, AnchorA: 3, AnchorB: 3}); err != nil {
+		t.Fatal(err)
+	}
+	reg := fs.Regions()[0]
+	bnd := BoundaryNodes(tor, fs, reg)
+	// A 2x2 block has 8 distinct healthy neighbours (no diagonals).
+	if len(bnd) != 8 {
+		t.Fatalf("boundary size = %d, want 8", len(bnd))
+	}
+	for _, b := range bnd {
+		if fs.NodeFaulty(b) {
+			t.Fatal("faulty node in boundary")
+		}
+	}
+}
+
+// The modelling-shortcut justification: at convergence, every absorbing
+// node knows the complete adjacent region, so the planner's extent queries
+// are locally computable.
+func TestBoundaryCompleteAtConvergence(t *testing.T) {
+	tor := topology.New(8, 2)
+	for name, spec := range fault.PaperFig5Specs() {
+		fs := fault.NewSet(tor)
+		if _, err := fault.StampShape(fs, 0, 0, 1, spec); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		reg := fs.Regions()[0]
+		p := New(tor, fs)
+		if p.BoundaryComplete(reg) && reg.Size() > 3 {
+			t.Fatalf("%s: boundary complete before any exchange", name)
+		}
+		p.Run(100)
+		if !p.BoundaryComplete(reg) {
+			t.Fatalf("%s: boundary incomplete at convergence", name)
+		}
+	}
+}
+
+// The claim Shell's doc comment makes, checked by property: for random
+// connected fault patterns, shell extents equal region extents in every
+// dimension — so extent-based detours need only the diagnosable part.
+func TestShellExtentsEqualRegionExtents(t *testing.T) {
+	tor := topology.New(8, 2)
+	for seed := uint64(0); seed < 15; seed++ {
+		fs, err := fault.Random(tor, 3+int(seed%8), rng.New(seed), fault.DefaultRandomOptions())
+		if err != nil {
+			continue
+		}
+		for _, reg := range fs.Regions() {
+			shellSet := fault.NewSet(tor)
+			shellSet.MarkNodes(Shell(tor, fs, reg))
+			shellRegs := shellSet.Regions()
+			// Merge shell extents across (possibly several) shell pieces by
+			// checking every extreme coordinate of the full region appears
+			// among shell nodes.
+			for d := 0; d < tor.N(); d++ {
+				full := reg.Extent(d)
+				foundLo, foundHi := false, false
+				for _, sr := range shellRegs {
+					for _, id := range sr.Nodes {
+						if tor.Coord(id, d) == full.Lo {
+							foundLo = true
+						}
+						if tor.Coord(id, d) == full.Hi {
+							foundHi = true
+						}
+					}
+				}
+				if !foundLo || !foundHi {
+					t.Fatalf("seed %d: extent extreme of dim %d not on shell", seed, d)
+				}
+			}
+		}
+	}
+}
+
+func TestRoundsNeededScalesWithRegionDiameter(t *testing.T) {
+	tor := topology.New(16, 2)
+	fs := fault.NewSet(tor)
+	// A long bar: the far ends' boundary nodes need ~length rounds.
+	if _, err := fault.StampShape(fs, 0, 0, 1, fault.ShapeSpec{Shape: fault.ShapeBar, A: 6, AnchorA: 5, AnchorB: 5}); err != nil {
+		t.Fatal(err)
+	}
+	reg := fs.Regions()[0]
+	p := New(tor, fs)
+	rounds := 0
+	for !p.BoundaryComplete(reg) && rounds < 50 {
+		p.Step()
+		rounds++
+	}
+	if rounds < 2 {
+		t.Fatalf("6-long bar boundary complete after %d rounds; too fast", rounds)
+	}
+	if rounds > 10 {
+		t.Fatalf("boundary needed %d rounds; flooding broken", rounds)
+	}
+}

@@ -1,0 +1,296 @@
+// Package fault models component failures in k-ary n-cube networks as
+// described in Section 3 of Safaei et al. (IPDPS 2006): static permanent
+// faults, node and link failures, random fault placement, and coalesced
+// fault regions of convex (block) and concave shapes.
+//
+// The paper's assumption (h) — faults never disconnect the network — is
+// enforced by the random injectors in this package and checkable explicitly
+// via Set.Disconnects.
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+// Set is a static fault configuration over one torus: which nodes have
+// failed, plus individually failed links. Per the paper, a node failure
+// marks every physical link and virtual channel incident on the failed node
+// faulty at the adjacent routers; Set implements that implication in
+// LinkFaulty.
+//
+// Sets are built once before a simulation starts and are immutable during
+// the run (static fault model, MTTR >> simulation horizon), so all query
+// methods are safe for concurrent readers.
+type Set struct {
+	t     *topology.Torus
+	node  []bool // indexed by NodeID
+	nodes []topology.NodeID
+	link  map[topology.ChannelID]bool
+}
+
+// NewSet returns an empty fault configuration for the given torus.
+func NewSet(t *topology.Torus) *Set {
+	return &Set{
+		t:    t,
+		node: make([]bool, t.Nodes()),
+		link: make(map[topology.ChannelID]bool),
+	}
+}
+
+// Torus returns the topology this fault set applies to.
+func (s *Set) Torus() *topology.Torus { return s.t }
+
+// MarkNode marks one node (PE + router) failed. Marking twice is a no-op.
+func (s *Set) MarkNode(id topology.NodeID) {
+	if !s.t.Valid(id) {
+		panic(fmt.Sprintf("fault: invalid node %d", id))
+	}
+	if !s.node[id] {
+		s.node[id] = true
+		s.nodes = append(s.nodes, id)
+	}
+}
+
+// MarkNodes marks a batch of nodes failed.
+func (s *Set) MarkNodes(ids []topology.NodeID) {
+	for _, id := range ids {
+		s.MarkNode(id)
+	}
+}
+
+// MarkLink marks the physical link leaving src through port failed in both
+// directions (the paired channel of the neighbouring router fails too).
+func (s *Set) MarkLink(src topology.NodeID, port topology.Port) {
+	ch := topology.ChannelID{Src: src, Port: port}
+	s.link[ch] = true
+	dst := ch.Dst(s.t)
+	s.link[topology.ChannelID{Src: dst, Port: port.Opposite()}] = true
+}
+
+// NodeFaulty reports whether node id has failed.
+func (s *Set) NodeFaulty(id topology.NodeID) bool { return s.node[id] }
+
+// LinkFaulty reports whether the unidirectional channel leaving src through
+// port is unusable: either the link itself failed, or an endpoint node
+// failed.
+func (s *Set) LinkFaulty(src topology.NodeID, port topology.Port) bool {
+	if s.node[src] {
+		return true
+	}
+	ch := topology.ChannelID{Src: src, Port: port}
+	if s.link[ch] {
+		return true
+	}
+	return s.node[ch.Dst(s.t)]
+}
+
+// NumNodeFaults returns the count of failed nodes.
+func (s *Set) NumNodeFaults() int { return len(s.nodes) }
+
+// FaultyNodes returns the failed nodes in ascending order.
+func (s *Set) FaultyNodes() []topology.NodeID {
+	out := make([]topology.NodeID, len(s.nodes))
+	copy(out, s.nodes)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// HealthyNodes returns all non-failed nodes in ascending order.
+func (s *Set) HealthyNodes() []topology.NodeID {
+	out := make([]topology.NodeID, 0, s.t.Nodes()-len(s.nodes))
+	for id := 0; id < s.t.Nodes(); id++ {
+		if !s.node[id] {
+			out = append(out, topology.NodeID(id))
+		}
+	}
+	return out
+}
+
+// Disconnects reports whether the healthy sub-network is disconnected: some
+// pair of healthy nodes has no fault-free path. It runs a BFS from the first
+// healthy node over non-faulty links.
+func (s *Set) Disconnects() bool {
+	start := topology.NodeID(-1)
+	healthy := 0
+	for id := 0; id < s.t.Nodes(); id++ {
+		if !s.node[id] {
+			healthy++
+			if start < 0 {
+				start = topology.NodeID(id)
+			}
+		}
+	}
+	if healthy == 0 {
+		return true
+	}
+	seen := make([]bool, s.t.Nodes())
+	queue := []topology.NodeID{start}
+	seen[start] = true
+	reached := 1
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for p := 0; p < s.t.Degree(); p++ {
+			port := topology.Port(p)
+			if s.LinkFaulty(cur, port) {
+				continue
+			}
+			nb := s.t.Neighbor(cur, port.Dim(), port.Dir())
+			if !seen[nb] {
+				seen[nb] = true
+				reached++
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return reached != healthy
+}
+
+// PlaneConnected reports whether the healthy nodes of the given 2-D plane
+// form a connected subgraph using only in-plane links. SW-Based-2D rerouting
+// operates within a plane, so plane connectivity is the natural sufficient
+// condition for guaranteed in-plane delivery; the routing layer has an
+// out-of-plane escape for the (rare) violation.
+func (s *Set) PlaneConnected(pl topology.Plane) bool {
+	nodes := pl.Nodes()
+	healthy := make(map[topology.NodeID]bool)
+	var start topology.NodeID = -1
+	for _, id := range nodes {
+		if !s.node[id] {
+			healthy[id] = true
+			if start < 0 {
+				start = id
+			}
+		}
+	}
+	if start < 0 {
+		return false
+	}
+	seen := map[topology.NodeID]bool{start: true}
+	queue := []topology.NodeID{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, dimDir := range [][2]int{{pl.DimA, 1}, {pl.DimA, -1}, {pl.DimB, 1}, {pl.DimB, -1}} {
+			port := topology.PortFor(dimDir[0], topology.Dir(dimDir[1]))
+			if s.LinkFaulty(cur, port) {
+				continue
+			}
+			nb := s.t.Neighbor(cur, dimDir[0], topology.Dir(dimDir[1]))
+			if healthy[nb] && !seen[nb] {
+				seen[nb] = true
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return len(seen) == len(healthy)
+}
+
+// PathFaultFree reports whether every node and hop of path is healthy.
+// The first node is exempt from the node check when exemptFirst is set (a
+// message can depart from the node it currently occupies).
+func (s *Set) PathFaultFree(path []topology.NodeID, exemptFirst bool) bool {
+	for i, id := range path {
+		if i == 0 && exemptFirst {
+			continue
+		}
+		if s.node[id] {
+			return false
+		}
+	}
+	for i := 1; i < len(path); i++ {
+		dim, dir, ok := hopDir(s.t, path[i-1], path[i])
+		if !ok {
+			return false
+		}
+		if i == 1 && exemptFirst {
+			// The exemption covers the first node entirely, including its
+			// role as the source endpoint of the first hop; only a
+			// link-specific fault or the far endpoint can fail this hop.
+			ch := topology.ChannelID{Src: path[0], Port: topology.PortFor(dim, dir)}
+			if s.link[ch] || s.node[path[1]] {
+				return false
+			}
+			continue
+		}
+		if s.LinkFaulty(path[i-1], topology.PortFor(dim, dir)) {
+			return false
+		}
+	}
+	return true
+}
+
+// hopDir identifies the (dimension, direction) of a single hop a -> b.
+func hopDir(t *topology.Torus, a, b topology.NodeID) (int, topology.Dir, bool) {
+	for d := 0; d < t.N(); d++ {
+		if t.Neighbor(a, d, topology.Plus) == b {
+			return d, topology.Plus, true
+		}
+		if t.Neighbor(a, d, topology.Minus) == b {
+			return d, topology.Minus, true
+		}
+	}
+	return 0, 0, false
+}
+
+// RandomOptions tunes random fault placement.
+type RandomOptions struct {
+	// KeepConnected retries placements that disconnect the healthy network
+	// (paper assumption (h)). Default true via DefaultRandomOptions.
+	KeepConnected bool
+	// Avoid lists nodes that must stay healthy (e.g. sources/sinks used by a
+	// specific experiment).
+	Avoid []topology.NodeID
+	// MaxAttempts bounds the rejection-sampling loop; 0 means 1000.
+	MaxAttempts int
+}
+
+// DefaultRandomOptions matches the paper's assumptions.
+func DefaultRandomOptions() RandomOptions {
+	return RandomOptions{KeepConnected: true}
+}
+
+// Random places nf random node faults ("Random faulty nodes are determined
+// using a uniform random number generator", §5.2), rejecting configurations
+// that disconnect the network when opts.KeepConnected is set. It returns the
+// resulting fault set or an error if no admissible placement was found.
+func Random(t *topology.Torus, nf int, r *rng.Stream, opts RandomOptions) (*Set, error) {
+	if nf < 0 || nf >= t.Nodes() {
+		return nil, fmt.Errorf("fault: cannot place %d faults in %d nodes", nf, t.Nodes())
+	}
+	avoid := make(map[topology.NodeID]bool, len(opts.Avoid))
+	for _, id := range opts.Avoid {
+		avoid[id] = true
+	}
+	maxAttempts := opts.MaxAttempts
+	if maxAttempts == 0 {
+		maxAttempts = 1000
+	}
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		s := NewSet(t)
+		perm := r.Perm(t.Nodes())
+		placed := 0
+		for _, v := range perm {
+			if placed == nf {
+				break
+			}
+			id := topology.NodeID(v)
+			if avoid[id] {
+				continue
+			}
+			s.MarkNode(id)
+			placed++
+		}
+		if placed < nf {
+			return nil, fmt.Errorf("fault: avoid-list leaves no room for %d faults", nf)
+		}
+		if !opts.KeepConnected || !s.Disconnects() {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("fault: no connected placement of %d faults found in %d attempts", nf, maxAttempts)
+}

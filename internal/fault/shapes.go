@@ -1,0 +1,240 @@
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// Shape identifies one of the coalesced fault-region silhouettes of Fig. 1
+// and Fig. 5 of the paper. Shapes are stamped into a 2-D plane of the torus
+// (dimension pair of the caller's choosing); the bar/box family is convex,
+// the letter family concave.
+type Shape int
+
+const (
+	// ShapeBar is a 1×L |-shaped bar (convex).
+	ShapeBar Shape = iota
+	// ShapeDoubleBar is two parallel bars separated by one healthy column
+	// (||-shaped; each bar is its own convex region).
+	ShapeDoubleBar
+	// ShapeRect is a solid W×H block (□-shaped, convex).
+	ShapeRect
+	// ShapeL is an L: vertical arm plus horizontal arm (concave).
+	ShapeL
+	// ShapeU is a U: two vertical arms joined by a bottom bar (concave).
+	ShapeU
+	// ShapeT is a T: horizontal top bar with a centred vertical stem (concave).
+	ShapeT
+	// ShapePlus is a +: crossing horizontal and vertical bars (concave).
+	ShapePlus
+	// ShapeH is an H: two vertical bars joined by a middle rung (concave).
+	ShapeH
+)
+
+var shapeNames = map[Shape]string{
+	ShapeBar:       "bar",
+	ShapeDoubleBar: "double-bar",
+	ShapeRect:      "rect",
+	ShapeL:         "L",
+	ShapeU:         "U",
+	ShapeT:         "T",
+	ShapePlus:      "plus",
+	ShapeH:         "H",
+}
+
+func (s Shape) String() string {
+	if n, ok := shapeNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("shape(%d)", int(s))
+}
+
+// Concave reports whether the silhouette is concave (U/+/T/H/L) rather than
+// convex (bar/double-bar/rect), per §3's classification.
+func (s Shape) Concave() bool {
+	switch s {
+	case ShapeL, ShapeU, ShapeT, ShapePlus, ShapeH:
+		return true
+	}
+	return false
+}
+
+// ShapeSpec describes a concrete stamping of a shape: silhouette, size
+// parameters A and B (meaning depends on the shape, see StampShape), the
+// plane to stamp into, and the anchor coordinates (the minimum corner of the
+// silhouette's bounding box within the plane).
+type ShapeSpec struct {
+	Shape            Shape
+	A, B             int
+	AnchorA, AnchorB int
+	// T is the bar thickness for ShapePlus (0 or 1 = the classic one-node-
+	// wide cross). Thickness lets large-nf crosses fit small radixes: the
+	// paper's Fig. 5 uses a 16-node plus inside an 8×8 plane, realised here
+	// as a 2-thick 5×5 cross.
+	T int
+}
+
+// cells enumerates a silhouette as (a, b) offsets from the anchor. Offsets
+// stay small relative to k so the stamped region never self-wraps.
+func (sp ShapeSpec) cells() ([][2]int, error) {
+	a, b := sp.A, sp.B
+	bad := func(cond bool, form string, args ...any) error {
+		if cond {
+			return fmt.Errorf("fault: invalid %v shape: "+form, append([]any{sp.Shape}, args...)...)
+		}
+		return nil
+	}
+	var out [][2]int
+	add := func(x, y int) { out = append(out, [2]int{x, y}) }
+	switch sp.Shape {
+	case ShapeBar: // A = length (vertical bar of height A)
+		if err := bad(a < 1, "length %d", a); err != nil {
+			return nil, err
+		}
+		for i := 0; i < a; i++ {
+			add(0, i)
+		}
+	case ShapeDoubleBar: // A = length of each bar, gap of one column
+		if err := bad(a < 1, "length %d", a); err != nil {
+			return nil, err
+		}
+		for i := 0; i < a; i++ {
+			add(0, i)
+			add(2, i)
+		}
+	case ShapeRect: // A×B solid block
+		if err := bad(a < 1 || b < 1, "size %dx%d", a, b); err != nil {
+			return nil, err
+		}
+		for x := 0; x < a; x++ {
+			for y := 0; y < b; y++ {
+				add(x, y)
+			}
+		}
+	case ShapeL: // vertical arm height A, horizontal arm width B, sharing the corner
+		if err := bad(a < 2 || b < 2, "arms %dx%d", a, b); err != nil {
+			return nil, err
+		}
+		for y := 0; y < a; y++ {
+			add(0, y)
+		}
+		for x := 1; x < b; x++ {
+			add(x, 0)
+		}
+	case ShapeU: // two vertical arms height A, bottom bar width B (>= 2 columns apart)
+		if err := bad(a < 2 || b < 3, "arms height %d, width %d", a, b); err != nil {
+			return nil, err
+		}
+		for x := 0; x < b; x++ {
+			add(x, 0)
+		}
+		for y := 1; y < a; y++ {
+			add(0, y)
+			add(b-1, y)
+		}
+	case ShapeT: // top bar width A (odd preferred), stem height B below the centre
+		if err := bad(a < 3 || b < 1, "bar %d, stem %d", a, b); err != nil {
+			return nil, err
+		}
+		for x := 0; x < a; x++ {
+			add(x, b)
+		}
+		mid := a / 2
+		for y := 0; y < b; y++ {
+			add(mid, y)
+		}
+	case ShapePlus: // horizontal bar width A, vertical bar height B, thickness T, crossing at centres
+		th := sp.T
+		if th < 1 {
+			th = 1
+		}
+		if err := bad(a < 3 || b < 3 || th > a-2 || th > b-2, "bars %dx%d thickness %d", a, b, th); err != nil {
+			return nil, err
+		}
+		cy := (b - th) / 2
+		cx := (a - th) / 2
+		seen := make(map[[2]int]bool)
+		dedupAdd := func(x, y int) {
+			if !seen[[2]int{x, y}] {
+				seen[[2]int{x, y}] = true
+				add(x, y)
+			}
+		}
+		for x := 0; x < a; x++ {
+			for dy := 0; dy < th; dy++ {
+				dedupAdd(x, cy+dy)
+			}
+		}
+		for y := 0; y < b; y++ {
+			for dx := 0; dx < th; dx++ {
+				dedupAdd(cx+dx, y)
+			}
+		}
+	case ShapeH: // two vertical bars height A, middle rung width B between them
+		if err := bad(a < 3 || b < 3, "bars height %d, rung span %d", a, b); err != nil {
+			return nil, err
+		}
+		for y := 0; y < a; y++ {
+			add(0, y)
+			add(b-1, y)
+		}
+		ry := a / 2
+		for x := 1; x < b-1; x++ {
+			add(x, ry)
+		}
+	default:
+		return nil, fmt.Errorf("fault: unknown shape %v", sp.Shape)
+	}
+	return out, nil
+}
+
+// CellCount returns the number of faulty nodes the spec stamps (the paper's
+// nf for region experiments), without touching a torus.
+func (sp ShapeSpec) CellCount() (int, error) {
+	cs, err := sp.cells()
+	if err != nil {
+		return 0, err
+	}
+	return len(cs), nil
+}
+
+// StampShape marks the silhouette into the fault set, within the plane
+// spanned by (dimA, dimB) through base. Coordinates are taken mod k. It
+// returns the stamped nodes and an error for invalid parameters or if the
+// silhouette would self-overlap after wrapping (shape larger than the ring).
+func StampShape(s *Set, base topology.NodeID, dimA, dimB int, sp ShapeSpec) ([]topology.NodeID, error) {
+	cs, err := sp.cells()
+	if err != nil {
+		return nil, err
+	}
+	t := s.Torus()
+	pl := t.PlaneThrough(base, dimA, dimB)
+	seen := make(map[topology.NodeID]bool, len(cs))
+	out := make([]topology.NodeID, 0, len(cs))
+	for _, c := range cs {
+		id := pl.Node((sp.AnchorA+c[0])%t.K(), (sp.AnchorB+c[1])%t.K())
+		if seen[id] {
+			return nil, fmt.Errorf("fault: shape %v at (%d,%d) self-overlaps after wraparound (k=%d)",
+				sp.Shape, sp.AnchorA, sp.AnchorB, t.K())
+		}
+		seen[id] = true
+		out = append(out, id)
+	}
+	s.MarkNodes(out)
+	return out, nil
+}
+
+// PaperFig5Specs returns the five fault-region configurations evaluated in
+// Fig. 5 of the paper with their exact faulty-node counts:
+// rect-shaped nf=20, T-shaped nf=10, +-shaped nf=16, L-shaped nf=9,
+// U-shaped nf=8.
+func PaperFig5Specs() map[string]ShapeSpec {
+	return map[string]ShapeSpec{
+		"rect-shaped": {Shape: ShapeRect, A: 5, B: 4, AnchorA: 2, AnchorB: 2},       // 20
+		"T-shaped":    {Shape: ShapeT, A: 7, B: 3, AnchorA: 1, AnchorB: 2},          // 7 + 3 = 10
+		"Plus-shaped": {Shape: ShapePlus, A: 5, B: 5, T: 2, AnchorA: 1, AnchorB: 1}, // 5*2 + 5*2 - 4 = 16
+		"L-shaped":    {Shape: ShapeL, A: 5, B: 5, AnchorA: 2, AnchorB: 2},          // 5 + 4 = 9
+		"U-shaped":    {Shape: ShapeU, A: 3, B: 4, AnchorA: 2, AnchorB: 2},          // 4 + 2*2 = 8
+	}
+}

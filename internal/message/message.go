@@ -1,0 +1,224 @@
+// Package message defines the unit of communication in the simulator: fixed
+// length wormhole messages, their flits, and the routing header that the
+// Software-Based messaging layer rewrites when a message is absorbed at an
+// intermediate node.
+//
+// Per the paper's assumptions (§5.1): message length is fixed (M flits), a
+// message is generated at a node by a Poisson process, and when a message
+// encounters a faulty component it is removed from the network, its header
+// modified in software, and the message re-injected with priority at the
+// absorbing node.
+package message
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// Mode selects the base routing discipline of a message, mirroring the
+// paper's routing_type variable.
+type Mode uint8
+
+const (
+	// Deterministic routes dimension-order (e-cube) paths.
+	Deterministic Mode = iota
+	// Adaptive routes Duato-protocol fully adaptive paths until the first
+	// fault is encountered, then falls back to Deterministic permanently
+	// ("From this point, faulted messages are always routed using
+	// detRouting2D").
+	Adaptive
+)
+
+func (m Mode) String() string {
+	if m == Deterministic {
+		return "deterministic"
+	}
+	return "adaptive"
+}
+
+// FlitType distinguishes the pipeline positions of a worm.
+type FlitType uint8
+
+const (
+	// HeadFlit carries the header and reserves channels.
+	HeadFlit FlitType = iota
+	// BodyFlit follows the head through reserved channels.
+	BodyFlit
+	// TailFlit releases channels as it passes.
+	TailFlit
+)
+
+// Flit is one flow-control digit of a message. Flits exist only inside
+// router buffers; Seq runs 0 (head) .. Msg.Len-1 (tail). Single-flit
+// messages have a flit that is simultaneously head and tail; Type() reports
+// HeadFlit for it and callers check IsTail separately.
+type Flit struct {
+	Msg *Message
+	Seq int
+}
+
+// Type classifies the flit by position.
+func (f Flit) Type() FlitType {
+	switch {
+	case f.Seq == 0:
+		return HeadFlit
+	case f.Seq == f.Msg.Len-1:
+		return TailFlit
+	default:
+		return BodyFlit
+	}
+}
+
+// IsHead reports whether this is the header flit.
+func (f Flit) IsHead() bool { return f.Seq == 0 }
+
+// IsTail reports whether this is the last flit of the worm.
+func (f Flit) IsTail() bool { return f.Seq == f.Msg.Len-1 }
+
+// Header is the software-rewritable routing state carried by the head flit.
+// Fields other than Dst are manipulated exclusively by the Software-Based
+// messaging layer (internal/routing) when the message is absorbed.
+type Header struct {
+	// Dst is the final destination.
+	Dst topology.NodeID
+	// Via is a stack of intermediate destinations (last element on top).
+	// The message routes to the top of the stack first; reaching it pops.
+	Via []topology.NodeID
+	// Mode is the current routing discipline.
+	Mode Mode
+	// Faulted marks a message that has been absorbed at least once; such
+	// messages route deterministically forever after.
+	Faulted bool
+	// DirOverride forces a (possibly non-minimal) ring direction per
+	// dimension; 0 means route minimally. Set by rerouting table T1
+	// (reverse on first fault in a dimension).
+	DirOverride []topology.Dir
+	// Reversed records dimensions in which T1 has already been applied, so
+	// a second fault in the same dimension escalates to the orthogonal
+	// detour (table T2).
+	Reversed []bool
+	// Crossed records, per dimension, whether the worm has crossed the
+	// ring's wraparound edge since (re-)injection; it selects the dateline
+	// virtual-channel class. Reset on re-injection (a re-injected message
+	// is a fresh worm).
+	Crossed []bool
+}
+
+// StopReason records why a worm is being ejected at its current node; it is
+// transient engine state, set when the routing decision is taken and
+// consumed when the tail flit reaches the local PE or messaging layer.
+type StopReason uint8
+
+const (
+	// StopNone: not ejecting.
+	StopNone StopReason = iota
+	// StopDeliver: final destination reached.
+	StopDeliver
+	// StopVia: intermediate destination reached; pop and re-inject.
+	StopVia
+	// StopFault: outgoing channel leads to a fault; replan and re-inject.
+	StopFault
+	// StopDrop: the planner found no route (disconnecting fault pattern);
+	// discard on ejection.
+	StopDrop
+)
+
+// Message is a fixed-length wormhole message plus bookkeeping for the
+// statistics the paper reports (latency from generation to last-flit
+// ejection; absorption counts for Fig. 7).
+type Message struct {
+	ID  uint64
+	Src topology.NodeID
+	Len int // flits
+	Header
+
+	// CreatedAt is the cycle the message was generated at the source PE
+	// (latency is measured from here, source queueing included).
+	CreatedAt int64
+	// Absorptions counts how many times the message was removed from the
+	// network due to faults; each absorption also increments the network
+	// wide "messages queued" counter of Fig. 7.
+	Absorptions int
+	// DeliveredAt is the cycle the tail flit reached the destination PE;
+	// -1 while in flight.
+	DeliveredAt int64
+	// Pending is the engine's transient ejection reason for the worm.
+	Pending StopReason
+}
+
+// New constructs a message of length flits from src to dst in the given
+// mode for an n-dimensional torus.
+func New(id uint64, src, dst topology.NodeID, length, n int, mode Mode, createdAt int64) *Message {
+	if length < 1 {
+		panic(fmt.Sprintf("message: length must be >= 1, got %d", length))
+	}
+	return &Message{
+		ID:  id,
+		Src: src,
+		Len: length,
+		Header: Header{
+			Dst:         dst,
+			Mode:        mode,
+			DirOverride: make([]topology.Dir, n),
+			Reversed:    make([]bool, n),
+			Crossed:     make([]bool, n),
+		},
+		CreatedAt:   createdAt,
+		DeliveredAt: -1,
+	}
+}
+
+// Target returns the node the message is currently routing towards: the top
+// intermediate destination if any, else the final destination.
+func (m *Message) Target() topology.NodeID {
+	if n := len(m.Via); n > 0 {
+		return m.Via[n-1]
+	}
+	return m.Dst
+}
+
+// AtFinal reports whether node is the message's final destination.
+func (m *Message) AtFinal(node topology.NodeID) bool { return node == m.Dst }
+
+// PushVia adds an intermediate destination on top of the stack.
+func (m *Message) PushVia(v topology.NodeID) { m.Via = append(m.Via, v) }
+
+// PopVia removes the top intermediate destination. It panics if the stack is
+// empty — popping without a via is a routing-layer bug.
+func (m *Message) PopVia() {
+	if len(m.Via) == 0 {
+		panic("message: PopVia on empty via stack")
+	}
+	m.Via = m.Via[:len(m.Via)-1]
+}
+
+// PopViasAt pops every via entry equal to node (the message may have been
+// handed a chain whose corner it reached).
+func (m *Message) PopViasAt(node topology.NodeID) {
+	for len(m.Via) > 0 && m.Via[len(m.Via)-1] == node {
+		m.Via = m.Via[:len(m.Via)-1]
+	}
+}
+
+// ResetForReinjection prepares the header for re-injection after absorption:
+// the worm re-enters the network fresh, so dateline-crossing state clears.
+// Direction overrides and reversal history persist — they are the rerouting
+// decision.
+func (m *Message) ResetForReinjection() {
+	for i := range m.Crossed {
+		m.Crossed[i] = false
+	}
+}
+
+// Flit materialises flit seq of the worm.
+func (m *Message) Flit(seq int) Flit {
+	if seq < 0 || seq >= m.Len {
+		panic(fmt.Sprintf("message: flit seq %d out of range [0,%d)", seq, m.Len))
+	}
+	return Flit{Msg: m, Seq: seq}
+}
+
+func (m *Message) String() string {
+	return fmt.Sprintf("msg#%d %d->%d len=%d mode=%v via=%v", m.ID, m.Src, m.Dst, m.Len, m.Mode, m.Via)
+}

@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"testing"
+
+	"repro/internal/message"
+)
+
+func mkMsg(id uint64, created int64) *message.Message {
+	return message.New(id, 0, 1, 8, 2, message.Deterministic, created)
+}
+
+func TestWarmupExclusion(t *testing.T) {
+	c := NewCollector(10)
+	for i := uint64(0); i < 20; i++ {
+		m := mkMsg(i, int64(i))
+		c.Generated(m)
+		c.Delivered(m, int64(i)+100)
+	}
+	if c.DeliveredCount() != 10 {
+		t.Fatalf("measured deliveries = %d, want 10", c.DeliveredCount())
+	}
+	r := c.Finalize(200, 64, false)
+	if r.Delivered != 10 || r.Generated != 10 {
+		t.Fatalf("results counts = %d/%d", r.Delivered, r.Generated)
+	}
+	if r.MeanLatency != 100 {
+		t.Fatalf("latency = %v, want 100", r.MeanLatency)
+	}
+}
+
+func TestMeasurementWindowOpensAtFirstMeasuredGeneration(t *testing.T) {
+	c := NewCollector(5)
+	for i := uint64(0); i < 10; i++ {
+		c.Generated(mkMsg(i, int64(i*10)))
+	}
+	// First measured message is ID 5 created at cycle 50.
+	r := c.Finalize(150, 4, false)
+	if r.Cycles != 100 {
+		t.Fatalf("window = %d, want 100", r.Cycles)
+	}
+}
+
+func TestThroughputComputation(t *testing.T) {
+	c := NewCollector(0)
+	for i := uint64(0); i < 50; i++ {
+		m := mkMsg(i, 0)
+		c.Generated(m)
+		c.Delivered(m, 10)
+	}
+	r := c.Finalize(1000, 10, false)
+	want := 50.0 / (1000.0 * 10.0)
+	if r.Throughput != want {
+		t.Fatalf("throughput = %v, want %v", r.Throughput, want)
+	}
+	if r.AcceptedFraction != 1.0 {
+		t.Fatalf("accepted = %v", r.AcceptedFraction)
+	}
+}
+
+func TestQueuedCounters(t *testing.T) {
+	c := NewCollector(2)
+	warm := mkMsg(0, 0)
+	c.Generated(warm)
+	c.Stop(warm, StopFault) // warm-up: not counted
+	m := mkMsg(5, 0)
+	c.Generated(m)
+	c.Stop(m, StopFault)
+	c.Stop(m, StopFault)
+	c.Stop(m, StopVia)
+	r := c.Finalize(100, 4, false)
+	if r.QueuedFault != 2 || r.QueuedVia != 1 || r.QueuedTotal() != 3 {
+		t.Fatalf("queued = %d/%d", r.QueuedFault, r.QueuedVia)
+	}
+}
+
+func TestQuantilesOrdered(t *testing.T) {
+	c := NewCollector(0)
+	for i := uint64(0); i < 1000; i++ {
+		m := mkMsg(i, 0)
+		c.Generated(m)
+		c.Delivered(m, int64(i))
+	}
+	r := c.Finalize(2000, 8, false)
+	if !(r.P50 <= r.P95 && r.P95 <= r.P99 && r.P99 <= r.MaxLatency) {
+		t.Fatalf("quantiles disordered: %v %v %v %v", r.P50, r.P95, r.P99, r.MaxLatency)
+	}
+}
+
+func TestSaturatedFlagAndDropped(t *testing.T) {
+	c := NewCollector(0)
+	m := mkMsg(0, 0)
+	c.Generated(m)
+	c.Dropped(m)
+	r := c.Finalize(10, 4, true)
+	if !r.Saturated || r.Dropped != 1 {
+		t.Fatalf("flags: %+v", r)
+	}
+	if r.String() == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func TestDeliveredStampsMessage(t *testing.T) {
+	c := NewCollector(0)
+	m := mkMsg(0, 7)
+	c.Generated(m)
+	c.Delivered(m, 19)
+	if m.DeliveredAt != 19 {
+		t.Fatalf("DeliveredAt = %d", m.DeliveredAt)
+	}
+}
+
+func TestNegativeWarmupClamped(t *testing.T) {
+	c := NewCollector(-5)
+	m := mkMsg(0, 0)
+	if !c.Measured(m) {
+		t.Fatal("clamped warmup should measure everything")
+	}
+}
+
+func TestEmptyFinalize(t *testing.T) {
+	c := NewCollector(0)
+	r := c.Finalize(100, 4, false)
+	if r.MeanLatency != 0 || r.Throughput != 0 || r.AcceptedFraction != 0 {
+		t.Fatalf("empty results not zero: %+v", r)
+	}
+}

@@ -1,0 +1,665 @@
+// Package network is the flit-level, cycle-accurate simulation engine: it
+// wires one router per node of a k-ary n-cube, drives Poisson traffic
+// through them under wormhole switching with virtual channels and credit
+// flow control, and implements the Software-Based absorption/re-injection
+// machinery (assumption (i) of the paper):
+//
+//   - a message whose outgoing channel leads to a fault is ejected through
+//     the local ejection channel into the node's software queue,
+//   - the messaging layer rewrites the header (internal/routing's planner),
+//   - after Δ cycles the message re-injects with priority over new traffic.
+//
+// The engine is single-goroutine and fully deterministic for a given seed;
+// sweeps parallelise across engine instances (see internal/core).
+package network
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/message"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/router"
+	"repro/internal/routing"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/traffic"
+)
+
+// Params configures one engine instance.
+type Params struct {
+	// V is the number of virtual channels per physical channel.
+	V int
+	// BufDepth is the per-VC buffer depth in flits.
+	BufDepth int
+	// Td is the router decision time in cycles (assumption (f); the paper's
+	// experiments use 0).
+	Td int64
+	// Delta is the software re-injection overhead in cycles (assumption
+	// (i); the paper's experiments use 0).
+	Delta int64
+	// SaturationBacklog stops the run early and marks it saturated once the
+	// summed source queues exceed this many messages (0 disables).
+	SaturationBacklog int
+	// Tracer, when non-nil, receives per-message events (injections, hops,
+	// stops, deliveries). Used by debugging tools and invariant tests.
+	Tracer trace.Tracer
+	// NoReinjectPriority disables the paper's "absorbed messages have
+	// priority over new messages" rule (ablation: §4 argues the priority
+	// prevents starvation).
+	NoReinjectPriority bool
+	// LinkLatency is the flit transmission time across a physical channel
+	// in cycles. The paper's assumption (g) — one flit per cycle — is the
+	// default 1; larger values model longer wires (ablation knob).
+	LinkLatency int64
+	// CreditDelay is the time for a credit to travel back upstream.
+	// Default 1 (visible the next cycle); larger values model pipelined
+	// credit return paths.
+	CreditDelay int64
+}
+
+// DefaultParams returns the paper's configuration: Td = 0, Δ = 0,
+// 2-flit VC buffers.
+func DefaultParams(v int) Params {
+	return Params{V: v, BufDepth: 2, SaturationBacklog: 0}
+}
+
+// arrivalEvent is a staged flit transfer, applied when dueAt <= now (at
+// cycle end). Events are enqueued in non-decreasing dueAt order because the
+// link latency is constant, so a FIFO suffices.
+type arrivalEvent struct {
+	dueAt int64
+	node  topology.NodeID
+	port  int
+	vc    int
+	flit  message.Flit
+}
+
+// creditEvent is a staged credit return, applied when dueAt <= now.
+type creditEvent struct {
+	dueAt int64
+	node  topology.NodeID
+	port  topology.Port
+	vc    int
+}
+
+// pendingMsg is a queued message at a node's software layer.
+type pendingMsg struct {
+	m          *message.Message
+	eligibleAt int64
+}
+
+// stream is a message currently trickling through a node's injection
+// channel into an injection-port virtual channel.
+type stream struct {
+	m   *message.Message
+	vc  int
+	seq int
+}
+
+// Network is the simulation engine.
+type Network struct {
+	t   *topology.Torus
+	f   *fault.Set
+	alg *routing.Algorithm
+	p   Params
+
+	routers []*router.Router
+	gen     *traffic.Generator
+	col     *metrics.Collector
+	r       *rng.Stream
+
+	// Per-node software queues: fresh traffic and re-injections (the latter
+	// have absolute priority, §4 "Absorbed messages have priority over new
+	// messages to prevent starvation").
+	newQ [][]*message.Message
+	reQ  [][]pendingMsg
+	// Per-node active injection streams, at most one flit/cycle/node.
+	streams [][]stream
+	rrInj   []int
+
+	// arrivals holds in-flight link transfers (uniform latency, so FIFO is
+	// due-ordered); injArrivals holds same-cycle injection-channel
+	// transfers, drained fully every cycle.
+	arrivals    []arrivalEvent
+	injArrivals []arrivalEvent
+	credits     []creditEvent
+
+	now       int64
+	inFlight  int // worms injected (streaming or in-network) not yet completed
+	generated uint64
+	dropped   uint64
+
+	genStopped bool
+}
+
+// New builds an engine. alg must be bound to the same topology and fault
+// set.
+func New(t *topology.Torus, f *fault.Set, alg *routing.Algorithm, gen *traffic.Generator, col *metrics.Collector, p Params, r *rng.Stream) *Network {
+	if p.V != alg.V() {
+		panic(fmt.Sprintf("network: params V=%d but algorithm V=%d", p.V, alg.V()))
+	}
+	if p.BufDepth < 1 {
+		panic("network: BufDepth must be >= 1")
+	}
+	if p.LinkLatency < 1 {
+		p.LinkLatency = 1
+	}
+	if p.CreditDelay < 1 {
+		p.CreditDelay = 1
+	}
+	n := &Network{
+		t: t, f: f, alg: alg, p: p,
+		routers: make([]*router.Router, t.Nodes()),
+		gen:     gen, col: col, r: r,
+		newQ:    make([][]*message.Message, t.Nodes()),
+		reQ:     make([][]pendingMsg, t.Nodes()),
+		streams: make([][]stream, t.Nodes()),
+		rrInj:   make([]int, t.Nodes()),
+	}
+	for id := 0; id < t.Nodes(); id++ {
+		n.routers[id] = router.New(topology.NodeID(id), t.N(), p.V, p.BufDepth)
+	}
+	return n
+}
+
+// Now returns the current cycle.
+func (nw *Network) Now() int64 { return nw.now }
+
+// InFlight returns the number of injected-but-uncompleted worms.
+func (nw *Network) InFlight() int { return nw.inFlight }
+
+// Backlog returns the number of messages waiting in source software queues
+// (new + re-injection) plus active injection streams.
+func (nw *Network) Backlog() int {
+	total := 0
+	for id := range nw.newQ {
+		total += len(nw.newQ[id]) + len(nw.reQ[id]) + len(nw.streams[id])
+	}
+	return total
+}
+
+// Dropped returns messages discarded because no route existed.
+func (nw *Network) Dropped() uint64 { return nw.dropped }
+
+// StopGeneration halts the traffic source (used by drain tests and
+// fixed-message-count runs).
+func (nw *Network) StopGeneration() { nw.genStopped = true }
+
+// Enqueue places a caller-constructed message on a node's fresh-traffic
+// queue, bypassing the Poisson generator. Used by tracing tools and tests
+// that drive individual messages.
+func (nw *Network) Enqueue(node topology.NodeID, m *message.Message) {
+	if nw.f.NodeFaulty(node) {
+		panic(fmt.Sprintf("network: enqueue at faulty node %d", node))
+	}
+	nw.newQ[node] = append(nw.newQ[node], m)
+}
+
+// Idle reports whether the network is completely drained: no buffered
+// flits, no flits in flight on links, no queued messages, no active
+// streams.
+func (nw *Network) Idle() bool {
+	if nw.Backlog() > 0 || len(nw.arrivals) > 0 || len(nw.injArrivals) > 0 {
+		return false
+	}
+	for _, rt := range nw.routers {
+		if rt.Flits > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Step advances the simulation by one cycle.
+func (nw *Network) Step() {
+	nw.now++
+	nw.pollTraffic()
+	nw.routeAndAllocate()
+	nw.switchTraversal()
+	nw.inject()
+	nw.applyStaged()
+}
+
+// pollTraffic pulls newly generated messages into source queues.
+func (nw *Network) pollTraffic() {
+	if nw.genStopped || nw.gen == nil {
+		return
+	}
+	for _, m := range nw.gen.Poll(nw.now) {
+		nw.col.Generated(m)
+		nw.generated++
+		nw.newQ[m.Src] = append(nw.newQ[m.Src], m)
+	}
+}
+
+// routeAndAllocate runs routing decisions and output-VC allocation for
+// every head flit parked at the front of an input VC.
+func (nw *Network) routeAndAllocate() {
+	var free []routing.CandidateVC // scratch, reused across VCs
+	for id := 0; id < len(nw.routers); id++ {
+		rt := nw.routers[id]
+		if rt.Flits == 0 {
+			continue
+		}
+		node := topology.NodeID(id)
+		for port := range rt.In {
+			for vc := range rt.In[port] {
+				ivc := &rt.In[port][vc]
+				if ivc.HasRoute {
+					continue
+				}
+				front, ok := ivc.Buf.Front()
+				if !ok || !front.IsHead() {
+					continue
+				}
+				if nw.now < ivc.ReadyAt {
+					continue
+				}
+				m := front.Msg
+				dec := nw.alg.Route(node, m)
+				switch dec.Outcome {
+				case routing.Deliver:
+					m.Pending = message.StopDeliver
+					ivc.HasRoute, ivc.ToEject = true, true
+				case routing.ViaArrived:
+					m.Pending = message.StopVia
+					ivc.HasRoute, ivc.ToEject = true, true
+				case routing.AbsorbFault:
+					nw.trace(trace.AbsorbStart, m.ID, node)
+					if nw.alg.Plan(node, m, dec.BlockedDim, dec.BlockedDir) {
+						m.Pending = message.StopFault
+					} else {
+						m.Pending = message.StopDrop
+					}
+					ivc.HasRoute, ivc.ToEject = true, true
+				case routing.Progress:
+					free = free[:0]
+					for _, c := range dec.Preferred {
+						if !rt.Out[c.Port][c.VC].Busy {
+							free = append(free, c)
+						}
+					}
+					if len(free) == 0 {
+						for _, c := range dec.Fallback {
+							if !rt.Out[c.Port][c.VC].Busy {
+								free = append(free, c)
+							}
+						}
+					}
+					if len(free) == 0 {
+						continue // all candidate VCs owned; retry next cycle
+					}
+					pick := free[nw.r.Intn(len(free))]
+					rt.Out[pick.Port][pick.VC].Busy = true
+					ivc.HasRoute, ivc.ToEject = true, false
+					ivc.OutPort, ivc.OutVC = pick.Port, pick.VC
+				}
+			}
+		}
+	}
+}
+
+// switchTraversal performs switch allocation and link/ejection traversal.
+// The paper's router is a full (2n+1)V-way crossbar that "can
+// simultaneously connect multiple input to multiple output virtual
+// channels": any buffered flit may move as long as (a) at most one flit
+// crosses each output physical channel per cycle (VCs time-multiplex the
+// link bandwidth), and (b) ejection drains each absorbing/delivering VC at
+// one flit per cycle (assumption (d): messages transfer to the PE as soon
+// as they arrive).
+func (nw *Network) switchTraversal() {
+	degree := nw.t.Degree()
+	type req struct{ port, vc int }
+	// Scratch buckets per output port, reused across routers.
+	buckets := make([][]req, degree)
+	for id := 0; id < len(nw.routers); id++ {
+		rt := nw.routers[id]
+		if rt.Flits == 0 {
+			continue
+		}
+		node := topology.NodeID(id)
+		for i := range buckets {
+			buckets[i] = buckets[i][:0]
+		}
+		for port := range rt.In {
+			for vc := range rt.In[port] {
+				ivc := &rt.In[port][vc]
+				if !ivc.HasRoute || ivc.Buf.Len() == 0 {
+					continue
+				}
+				if ivc.ToEject {
+					// Per-VC ejection: drain immediately, no arbitration.
+					nw.moveEject(node, rt, port, vc)
+				} else {
+					buckets[ivc.OutPort] = append(buckets[ivc.OutPort], req{port, vc})
+				}
+			}
+		}
+		// Network output channels: one flit per physical channel per cycle,
+		// round-robin over the competing input VCs.
+		for out := 0; out < degree; out++ {
+			cands := buckets[out]
+			if len(cands) == 0 {
+				continue
+			}
+			n := len(cands)
+			start := rt.RROut[out] % n
+			for i := 0; i < n; i++ {
+				c := cands[(start+i)%n]
+				ivc := &rt.In[c.port][c.vc]
+				ovc := &rt.Out[ivc.OutPort][ivc.OutVC]
+				if ovc.Credits == 0 {
+					continue
+				}
+				nw.moveNetwork(node, rt, c.port, c.vc)
+				rt.RROut[out] = (start + i + 1) % n
+				break
+			}
+		}
+	}
+}
+
+// moveNetwork sends the front flit of input (port, vc) through its
+// allocated output VC to the neighbouring router.
+func (nw *Network) moveNetwork(node topology.NodeID, rt *router.Router, port, vc int) {
+	ivc := &rt.In[port][vc]
+	f := rt.Pop(port, vc)
+	ovc := &rt.Out[ivc.OutPort][ivc.OutVC]
+	ovc.Credits--
+	dim, dir := ivc.OutPort.Dim(), ivc.OutPort.Dir()
+	if f.IsHead() && nw.t.WrapsAround(nw.t.Coord(node, dim), dir) {
+		f.Msg.Crossed[dim] = true
+	}
+	dst := nw.t.Neighbor(node, dim, dir)
+	if f.IsHead() {
+		nw.trace(trace.Hop, f.Msg.ID, dst)
+	}
+	nw.arrivals = append(nw.arrivals, arrivalEvent{
+		dueAt: nw.now + nw.p.LinkLatency - 1,
+		node:  dst,
+		port:  int(ivc.OutPort.Opposite()),
+		vc:    ivc.OutVC,
+		flit:  f,
+	})
+	nw.returnCredit(node, port, vc)
+	if f.IsTail() {
+		ovc.Busy = false
+		ivc.HasRoute = false
+		nw.refreshReady(ivc)
+	}
+}
+
+// refreshReady re-arms the routing-decision timer when a new worm's head
+// becomes the buffer front after the previous tail left.
+func (nw *Network) refreshReady(ivc *router.InVC) {
+	if nf, ok := ivc.Buf.Front(); ok && nf.IsHead() {
+		ivc.ReadyAt = nw.now + 1 + nw.p.Td
+	}
+}
+
+// moveEject drains the front flit of input (port, vc) into the local PE /
+// messaging layer and finalises the worm when its tail arrives.
+func (nw *Network) moveEject(node topology.NodeID, rt *router.Router, port, vc int) {
+	ivc := &rt.In[port][vc]
+	f := rt.Pop(port, vc)
+	nw.returnCredit(node, port, vc)
+	if !f.IsTail() {
+		return
+	}
+	ivc.HasRoute = false
+	nw.refreshReady(ivc)
+	m := f.Msg
+	reason := m.Pending
+	m.Pending = message.StopNone
+	nw.inFlight--
+	switch reason {
+	case message.StopDeliver:
+		nw.trace(trace.Deliver, m.ID, node)
+		nw.col.Delivered(m, nw.now)
+	case message.StopVia:
+		nw.trace(trace.ViaStop, m.ID, node)
+		nw.col.Stop(m, metrics.StopVia)
+		m.PopViasAt(node)
+		m.ResetForReinjection()
+		nw.requeue(node, m)
+	case message.StopFault:
+		nw.trace(trace.FaultStop, m.ID, node)
+		nw.col.Stop(m, metrics.StopFault)
+		m.ResetForReinjection()
+		nw.requeue(node, m)
+	case message.StopDrop:
+		nw.trace(trace.Drop, m.ID, node)
+		nw.col.Dropped(m)
+		nw.dropped++
+	default:
+		panic(fmt.Sprintf("network: worm ejected with no stop reason: %v", m))
+	}
+}
+
+// requeue places an absorbed message on the node's priority re-injection
+// queue, eligible after the software overhead Δ.
+func (nw *Network) requeue(node topology.NodeID, m *message.Message) {
+	nw.reQ[node] = append(nw.reQ[node], pendingMsg{m: m, eligibleAt: nw.now + nw.p.Delta})
+}
+
+// returnCredit stages a credit for the upstream output VC feeding input
+// (port, vc) of node. Injection-port buffers are fed by the local source,
+// which checks space directly, so they carry no credits.
+func (nw *Network) returnCredit(node topology.NodeID, port, vc int) {
+	if port >= nw.t.Degree() {
+		return
+	}
+	tp := topology.Port(port)
+	up := nw.t.Neighbor(node, tp.Dim(), tp.Dir())
+	nw.credits = append(nw.credits, creditEvent{
+		dueAt: nw.now + nw.p.CreditDelay - 1,
+		node:  up,
+		port:  tp.Opposite(),
+		vc:    vc,
+	})
+}
+
+// inject moves at most one flit per node from the software layer into the
+// injection input port, starting new streams as injection VCs free up.
+// Re-injected (absorbed) messages always start before new messages.
+func (nw *Network) inject() {
+	for id := 0; id < len(nw.routers); id++ {
+		node := topology.NodeID(id)
+		nw.startStreams(node)
+		ss := nw.streams[id]
+		if len(ss) == 0 {
+			continue
+		}
+		rt := nw.routers[id]
+		injPort := rt.InjectionPort()
+		// Round-robin across active streams for the single injection
+		// channel's flit slot.
+		n := len(ss)
+		start := nw.rrInj[id] % n
+		for i := 0; i < n; i++ {
+			s := &ss[(start+i)%n]
+			ivc := &rt.In[injPort][s.vc]
+			if ivc.Buf.Space() == 0 {
+				continue
+			}
+			// Injection is a local wire: always one cycle.
+			nw.injArrivals = append(nw.injArrivals, arrivalEvent{
+				dueAt: nw.now, node: node, port: injPort, vc: s.vc, flit: s.m.Flit(s.seq),
+			})
+			// Reserve the slot so a same-cycle arrival cannot overflow.
+			s.seq++
+			nw.rrInj[id] = (start + i + 1) % n
+			if s.seq == s.m.Len {
+				// Stream complete; remove, preserving order.
+				idx := (start + i) % n
+				nw.streams[id] = append(ss[:idx], ss[idx+1:]...)
+			}
+			break
+		}
+	}
+}
+
+// startStreams claims free injection VCs for queued messages, priority
+// queue first. A message's header is validated against the fault set at
+// start time: a blocked first hop is re-planned in software before the worm
+// ever enters the network.
+func (nw *Network) startStreams(node topology.NodeID) {
+	rt := nw.routers[node]
+	injPort := rt.InjectionPort()
+	for {
+		m := nw.peekQueue(node)
+		if m == nil {
+			return
+		}
+		// Find a free injection VC: empty buffer and no stream using it.
+		vc := -1
+		for v := 0; v < nw.p.V; v++ {
+			ivc := &rt.In[injPort][v]
+			if ivc.HasRoute || ivc.Buf.Len() > 0 {
+				continue
+			}
+			inUse := false
+			for _, s := range nw.streams[node] {
+				if s.vc == v {
+					inUse = true
+					break
+				}
+			}
+			if !inUse {
+				vc = v
+				break
+			}
+		}
+		if vc < 0 {
+			return
+		}
+		if !nw.prepareForInjection(node, m) {
+			// Undeliverable: drop it and keep scanning the queue.
+			nw.popQueue(node)
+			nw.col.Dropped(m)
+			nw.dropped++
+			continue
+		}
+		nw.popQueue(node)
+		nw.streams[node] = append(nw.streams[node], stream{m: m, vc: vc})
+		nw.inFlight++
+		nw.trace(trace.Inject, m.ID, node)
+	}
+}
+
+// trace forwards an event to the configured tracer, if any.
+func (nw *Network) trace(kind trace.Kind, msg uint64, node topology.NodeID) {
+	if nw.p.Tracer != nil {
+		nw.p.Tracer.Trace(trace.Event{Cycle: nw.now, Msg: msg, Kind: kind, Node: node})
+	}
+}
+
+// peekQueue returns the next eligible message at node without removing it.
+// Re-injections normally have absolute priority; with NoReinjectPriority
+// set, fresh traffic is served first (the starvation ablation).
+func (nw *Network) peekQueue(node topology.NodeID) *message.Message {
+	reReady := len(nw.reQ[node]) > 0 && nw.reQ[node][0].eligibleAt <= nw.now
+	if nw.p.NoReinjectPriority {
+		if q := nw.newQ[node]; len(q) > 0 {
+			return q[0]
+		}
+		if reReady {
+			return nw.reQ[node][0].m
+		}
+		return nil
+	}
+	if reReady {
+		return nw.reQ[node][0].m
+	}
+	if q := nw.newQ[node]; len(q) > 0 {
+		return q[0]
+	}
+	return nil
+}
+
+// popQueue removes the message peekQueue returned.
+func (nw *Network) popQueue(node topology.NodeID) {
+	reReady := len(nw.reQ[node]) > 0 && nw.reQ[node][0].eligibleAt <= nw.now
+	if nw.p.NoReinjectPriority {
+		if q := nw.newQ[node]; len(q) > 0 {
+			nw.newQ[node] = q[1:]
+			return
+		}
+		nw.reQ[node] = nw.reQ[node][1:]
+		return
+	}
+	if reReady {
+		nw.reQ[node] = nw.reQ[node][1:]
+		return
+	}
+	nw.newQ[node] = nw.newQ[node][1:]
+}
+
+// prepareForInjection runs the injection-time fault check: if the message's
+// required first hop is faulty, the messaging layer replans before the worm
+// enters the network. Reports false when the message is undeliverable.
+func (nw *Network) prepareForInjection(node topology.NodeID, m *message.Message) bool {
+	for guard := 0; guard < 4; guard++ {
+		dec := nw.alg.Route(node, m)
+		switch dec.Outcome {
+		case routing.Progress, routing.Deliver:
+			return true
+		case routing.ViaArrived:
+			m.PopViasAt(node)
+		case routing.AbsorbFault:
+			if !nw.alg.Plan(node, m, dec.BlockedDim, dec.BlockedDir) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// applyStaged commits the flit arrivals and credit returns that are due at
+// the end of this cycle. With the default unit link latency and credit
+// delay every staged event is due immediately; longer latencies leave a
+// sorted (FIFO) tail in flight.
+func (nw *Network) applyStaged() {
+	for _, a := range nw.injArrivals {
+		nw.applyArrival(a)
+	}
+	nw.injArrivals = nw.injArrivals[:0]
+	i := 0
+	for ; i < len(nw.arrivals) && nw.arrivals[i].dueAt <= nw.now; i++ {
+		nw.applyArrival(nw.arrivals[i])
+	}
+	nw.arrivals = sliceTail(nw.arrivals, i)
+	j := 0
+	for ; j < len(nw.credits) && nw.credits[j].dueAt <= nw.now; j++ {
+		c := nw.credits[j]
+		nw.routers[c.node].Out[c.port][c.vc].Credits++
+	}
+	nw.credits = sliceTail(nw.credits, j)
+}
+
+// applyArrival commits one staged flit into its destination buffer.
+func (nw *Network) applyArrival(a arrivalEvent) {
+	rt := nw.routers[a.node]
+	rt.Push(a.port, a.vc, a.flit)
+	if a.flit.IsHead() {
+		ivc := &rt.In[a.port][a.vc]
+		if ivc.Buf.Len() == 1 { // became front: routing decision earliest next cycle
+			ivc.ReadyAt = nw.now + 1 + nw.p.Td
+		}
+	}
+}
+
+// sliceTail drops the first n elements, compacting storage when the queue
+// empties so long runs do not leak backing arrays.
+func sliceTail[T any](q []T, n int) []T {
+	if n == 0 {
+		return q
+	}
+	if n == len(q) {
+		return q[:0]
+	}
+	m := copy(q, q[n:])
+	return q[:m]
+}

@@ -1,0 +1,7 @@
+package rng
+
+import "math"
+
+// mathLog is an alias for math.Log, split out so rng.go reads without the
+// math import tangled into the generator code.
+func mathLog(x float64) float64 { return math.Log(x) }

@@ -1,0 +1,158 @@
+// Package router models the wormhole router microarchitecture of §2 of the
+// paper: per-virtual-channel flit FIFOs on every input port, output virtual
+// channels with credit-based flow control, and the crossbar constraint of
+// one flit per physical channel per cycle.
+//
+// The package holds state and per-router operations only; the cycle-level
+// engine that wires routers together and applies the routing algorithms
+// lives in internal/network.
+package router
+
+import (
+	"fmt"
+
+	"repro/internal/message"
+	"repro/internal/topology"
+)
+
+// FlitQueue is a fixed-capacity FIFO of flits (one virtual channel's
+// buffer).
+type FlitQueue struct {
+	items []message.Flit
+	head  int
+	size  int
+}
+
+// NewFlitQueue builds a queue of the given capacity.
+func NewFlitQueue(capacity int) FlitQueue {
+	if capacity < 1 {
+		panic(fmt.Sprintf("router: buffer capacity must be >= 1, got %d", capacity))
+	}
+	return FlitQueue{items: make([]message.Flit, capacity)}
+}
+
+// Len returns the number of buffered flits.
+func (q *FlitQueue) Len() int { return q.size }
+
+// Cap returns the buffer capacity in flits.
+func (q *FlitQueue) Cap() int { return len(q.items) }
+
+// Space returns the number of free slots.
+func (q *FlitQueue) Space() int { return len(q.items) - q.size }
+
+// Push appends a flit; it panics on overflow (credits must prevent it).
+func (q *FlitQueue) Push(f message.Flit) {
+	if q.size == len(q.items) {
+		panic("router: flit buffer overflow (credit accounting broken)")
+	}
+	q.items[(q.head+q.size)%len(q.items)] = f
+	q.size++
+}
+
+// Front returns the flit at the head without removing it; ok is false when
+// empty.
+func (q *FlitQueue) Front() (message.Flit, bool) {
+	if q.size == 0 {
+		return message.Flit{}, false
+	}
+	return q.items[q.head], true
+}
+
+// Pop removes and returns the head flit; it panics when empty.
+func (q *FlitQueue) Pop() message.Flit {
+	if q.size == 0 {
+		panic("router: pop from empty flit buffer")
+	}
+	f := q.items[q.head]
+	q.items[q.head] = message.Flit{}
+	q.head = (q.head + 1) % len(q.items)
+	q.size--
+	return f
+}
+
+// InVC is one input virtual channel: a flit buffer plus the route held by
+// the worm currently at its front. The route persists from head-flit
+// allocation until the tail flit leaves (wormhole channel reservation).
+type InVC struct {
+	Buf FlitQueue
+	// HasRoute marks an allocated route for the front worm.
+	HasRoute bool
+	// ToEject routes the worm to the local ejection port (delivery or
+	// software absorption); OutPort/OutVC are meaningful otherwise.
+	ToEject bool
+	OutPort topology.Port
+	OutVC   int
+	// ReadyAt is the earliest cycle the head may take its routing decision
+	// (models the router decision time Td of assumption (f)).
+	ReadyAt int64
+}
+
+// OutVC is one output virtual channel: ownership (a worm holds it from head
+// allocation to tail traversal) and the credit count mirroring free space in
+// the downstream input buffer.
+type OutVC struct {
+	Busy    bool
+	Credits int
+}
+
+// Router is the per-node switching element. Ports are indexed as in
+// internal/topology: network ports 0..2n-1, then the injection input port
+// (index 2n). The ejection output port needs no per-VC state (it drains to
+// the PE) and is represented implicitly.
+type Router struct {
+	ID topology.NodeID
+	// In[port][vc]; port 2n is the injection port.
+	In [][]InVC
+	// Out[port][vc]; network ports only.
+	Out [][]OutVC
+	// Flits counts buffered flits across all input VCs — the activity
+	// signal the engine uses to skip idle routers.
+	Flits int
+	// RROut holds the round-robin arbitration pointer per output port; the
+	// extra last slot is the ejection port's.
+	RROut []int
+}
+
+// New builds a router for a node of an n-dimensional torus with v virtual
+// channels per port and per-VC buffers of depth bufDepth flits.
+func New(id topology.NodeID, n, v, bufDepth int) *Router {
+	degree := 2 * n
+	r := &Router{
+		ID:    id,
+		In:    make([][]InVC, degree+1),
+		Out:   make([][]OutVC, degree),
+		RROut: make([]int, degree+1),
+	}
+	for p := range r.In {
+		r.In[p] = make([]InVC, v)
+		for vc := range r.In[p] {
+			r.In[p][vc] = InVC{Buf: NewFlitQueue(bufDepth)}
+		}
+	}
+	for p := range r.Out {
+		r.Out[p] = make([]OutVC, v)
+		for vc := range r.Out[p] {
+			// Credits start at the downstream buffer depth; symmetric
+			// network, so it equals our own bufDepth.
+			r.Out[p][vc] = OutVC{Credits: bufDepth}
+		}
+	}
+	return r
+}
+
+// InjectionPort returns the index of this router's injection input port.
+func (r *Router) InjectionPort() int { return len(r.In) - 1 }
+
+// Push places a flit into input (port, vc), updating the activity counter.
+func (r *Router) Push(port, vc int, f message.Flit) {
+	r.In[port][vc].Buf.Push(f)
+	r.Flits++
+}
+
+// Pop removes the front flit from input (port, vc), updating the activity
+// counter.
+func (r *Router) Pop(port, vc int) message.Flit {
+	f := r.In[port][vc].Buf.Pop()
+	r.Flits--
+	return f
+}

@@ -1,0 +1,155 @@
+package router
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/message"
+)
+
+func TestFlitQueueFIFO(t *testing.T) {
+	q := NewFlitQueue(4)
+	m := message.New(1, 0, 1, 4, 2, message.Deterministic, 0)
+	for i := 0; i < 4; i++ {
+		q.Push(m.Flit(i))
+	}
+	if q.Len() != 4 || q.Space() != 0 || q.Cap() != 4 {
+		t.Fatalf("len/space/cap = %d/%d/%d", q.Len(), q.Space(), q.Cap())
+	}
+	for i := 0; i < 4; i++ {
+		f, ok := q.Front()
+		if !ok || f.Seq != i {
+			t.Fatalf("front seq = %d, want %d", f.Seq, i)
+		}
+		if got := q.Pop(); got.Seq != i {
+			t.Fatalf("pop seq = %d, want %d", got.Seq, i)
+		}
+	}
+	if _, ok := q.Front(); ok {
+		t.Fatal("front on empty queue succeeded")
+	}
+}
+
+func TestFlitQueueWrapsRing(t *testing.T) {
+	q := NewFlitQueue(2)
+	m := message.New(1, 0, 1, 8, 2, message.Deterministic, 0)
+	// Interleave push/pop so head wraps around the ring repeatedly.
+	seq := 0
+	q.Push(m.Flit(seq))
+	seq++
+	for i := 0; i < 20; i++ {
+		q.Push(m.Flit(seq % 8))
+		seq++
+		want := (seq - 2) % 8
+		if got := q.Pop(); got.Seq != want {
+			t.Fatalf("iteration %d: pop seq %d, want %d", i, got.Seq, want)
+		}
+	}
+}
+
+func TestFlitQueueOverflowPanics(t *testing.T) {
+	q := NewFlitQueue(1)
+	m := message.New(1, 0, 1, 4, 2, message.Deterministic, 0)
+	q.Push(m.Flit(0))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overflow did not panic")
+		}
+	}()
+	q.Push(m.Flit(1))
+}
+
+func TestFlitQueueUnderflowPanics(t *testing.T) {
+	q := NewFlitQueue(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("underflow did not panic")
+		}
+	}()
+	q.Pop()
+}
+
+func TestNewFlitQueueValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero capacity did not panic")
+		}
+	}()
+	NewFlitQueue(0)
+}
+
+func TestRouterLayout(t *testing.T) {
+	r := New(5, 3, 10, 2)
+	if len(r.In) != 7 { // 6 network + injection
+		t.Fatalf("in ports = %d, want 7", len(r.In))
+	}
+	if len(r.Out) != 6 {
+		t.Fatalf("out ports = %d, want 6", len(r.Out))
+	}
+	if r.InjectionPort() != 6 {
+		t.Fatalf("injection port = %d", r.InjectionPort())
+	}
+	for p := range r.In {
+		if len(r.In[p]) != 10 {
+			t.Fatalf("port %d has %d VCs", p, len(r.In[p]))
+		}
+	}
+	for p := range r.Out {
+		for vc := range r.Out[p] {
+			if r.Out[p][vc].Credits != 2 {
+				t.Fatalf("initial credits = %d, want bufDepth 2", r.Out[p][vc].Credits)
+			}
+			if r.Out[p][vc].Busy {
+				t.Fatal("output VC born busy")
+			}
+		}
+	}
+	if len(r.RROut) != 7 { // network ports + ejection arbiter slot
+		t.Fatalf("rr slots = %d", len(r.RROut))
+	}
+}
+
+func TestActivityCounter(t *testing.T) {
+	r := New(0, 2, 4, 2)
+	m := message.New(1, 0, 1, 4, 2, message.Deterministic, 0)
+	if r.Flits != 0 {
+		t.Fatal("new router not idle")
+	}
+	r.Push(0, 1, m.Flit(0))
+	r.Push(2, 3, m.Flit(1))
+	if r.Flits != 2 {
+		t.Fatalf("flits = %d, want 2", r.Flits)
+	}
+	r.Pop(0, 1)
+	if r.Flits != 1 {
+		t.Fatalf("flits = %d, want 1", r.Flits)
+	}
+}
+
+func TestFlitQueuePropertyConservation(t *testing.T) {
+	// Random interleavings of pushes and pops preserve FIFO order and
+	// counts.
+	if err := quick.Check(func(ops []bool, capRaw uint8) bool {
+		capacity := 1 + int(capRaw)%8
+		q := NewFlitQueue(capacity)
+		m := message.New(1, 0, 1, 1024, 2, message.Deterministic, 0)
+		pushed, popped := 0, 0
+		for _, isPush := range ops {
+			if isPush {
+				if q.Space() > 0 {
+					q.Push(m.Flit(pushed % 1024))
+					pushed++
+				}
+			} else if q.Len() > 0 {
+				f := q.Pop()
+				if f.Seq != popped%1024 {
+					return false
+				}
+				popped++
+			}
+		}
+		return q.Len() == pushed-popped
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

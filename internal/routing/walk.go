@@ -1,0 +1,143 @@
+package routing
+
+import (
+	"fmt"
+
+	"repro/internal/message"
+	"repro/internal/topology"
+)
+
+// WalkResult summarises one contention-free traversal of the routing
+// algorithm (see Walk).
+type WalkResult struct {
+	// Hops is the number of link traversals.
+	Hops int
+	// Stops is the number of software-layer stops (fault absorptions plus
+	// intermediate-destination arrivals).
+	Stops int
+	// Absorptions is the fault-triggered subset of Stops.
+	Absorptions int
+	// Delivered reports whether the walk reached the destination within
+	// the step budget.
+	Delivered bool
+}
+
+// Walk drives a message from its source to its destination assuming zero
+// contention: Route decides, the walk applies the first candidate, and
+// software stops run the planner exactly as the engine's messaging layer
+// does. It is the algorithm-level executable semantics used by the
+// livelock analysis and the test suite.
+func Walk(a *Algorithm, m *message.Message, maxSteps int) WalkResult {
+	var res WalkResult
+	cur := m.Src
+	t := a.Topology()
+	for step := 0; step < maxSteps; step++ {
+		dec := a.Route(cur, m)
+		switch dec.Outcome {
+		case Deliver:
+			res.Delivered = true
+			return res
+		case ViaArrived:
+			m.PopViasAt(cur)
+			m.ResetForReinjection()
+			res.Stops++
+		case AbsorbFault:
+			if !a.Plan(cur, m, dec.BlockedDim, dec.BlockedDir) {
+				return res // unroutable; Delivered stays false
+			}
+			m.ResetForReinjection()
+			res.Stops++
+			res.Absorptions++
+		case Progress:
+			cand := dec.Preferred
+			if len(cand) == 0 {
+				cand = dec.Fallback
+			}
+			if len(cand) == 0 {
+				return res
+			}
+			port := cand[0].Port
+			if t.WrapsAround(t.Coord(cur, port.Dim()), port.Dir()) {
+				m.Crossed[port.Dim()] = true
+			}
+			cur = t.Neighbor(cur, port.Dim(), port.Dir())
+			res.Hops++
+		}
+	}
+	return res
+}
+
+// LivelockReport is the exhaustive bound check behind §4's livelock-freedom
+// discussion: every healthy ordered (src, dst) pair is walked and the
+// worst-case misrouting quantified.
+type LivelockReport struct {
+	// Pairs walked.
+	Pairs int
+	// Undelivered counts pairs that failed the step budget (must be 0 for
+	// connected fault patterns).
+	Undelivered int
+	// MaxStops and MaxHops are worst cases over all pairs.
+	MaxStops, MaxHops int
+	// MeanStops and MeanHops are averaged over all pairs.
+	MeanStops, MeanHops float64
+	// WorstSrc and WorstDst identify the pair attaining MaxStops.
+	WorstSrc, WorstDst topology.NodeID
+}
+
+// AnalyzeLivelock walks every healthy ordered pair of the algorithm's
+// network. msgLen only affects header construction, not the walk. maxSteps
+// bounds each walk; 0 derives a generous budget from the network size.
+func AnalyzeLivelock(a *Algorithm, msgLen, maxSteps int) LivelockReport {
+	t := a.Topology()
+	f := a.Faults()
+	if maxSteps <= 0 {
+		maxSteps = 40 * t.Nodes()
+	}
+	mode := message.Deterministic
+	if a.Adaptive() {
+		mode = message.Adaptive
+	}
+	var rep LivelockReport
+	var totStops, totHops int
+	id := uint64(0)
+	for s := 0; s < t.Nodes(); s++ {
+		src := topology.NodeID(s)
+		if f.NodeFaulty(src) {
+			continue
+		}
+		for d := 0; d < t.Nodes(); d++ {
+			dst := topology.NodeID(d)
+			if src == dst || f.NodeFaulty(dst) {
+				continue
+			}
+			m := message.New(id, src, dst, msgLen, t.N(), mode, 0)
+			id++
+			res := Walk(a, m, maxSteps)
+			rep.Pairs++
+			if !res.Delivered {
+				rep.Undelivered++
+				continue
+			}
+			totStops += res.Stops
+			totHops += res.Hops
+			if res.Stops > rep.MaxStops {
+				rep.MaxStops = res.Stops
+				rep.WorstSrc, rep.WorstDst = src, dst
+			}
+			if res.Hops > rep.MaxHops {
+				rep.MaxHops = res.Hops
+			}
+		}
+	}
+	delivered := rep.Pairs - rep.Undelivered
+	if delivered > 0 {
+		rep.MeanStops = float64(totStops) / float64(delivered)
+		rep.MeanHops = float64(totHops) / float64(delivered)
+	}
+	return rep
+}
+
+func (r LivelockReport) String() string {
+	return fmt.Sprintf("pairs=%d undelivered=%d stops(max=%d mean=%.3f) hops(max=%d mean=%.2f) worst=%d->%d",
+		r.Pairs, r.Undelivered, r.MaxStops, r.MeanStops, r.MaxHops, r.MeanHops, r.WorstSrc, r.WorstDst)
+}

@@ -1,0 +1,202 @@
+// Package stats provides the small statistical toolkit the simulator's
+// metrics are built on: numerically stable streaming moments (Welford),
+// normal-approximation confidence intervals, and exact quantiles over
+// retained samples.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Welford accumulates count, mean and variance in one pass using Welford's
+// online algorithm, which stays numerically stable for the long latency
+// streams a saturated network produces. The zero value is ready to use.
+type Welford struct {
+	n    uint64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// Count returns the number of observations.
+func (w *Welford) Count() uint64 { return w.n }
+
+// Mean returns the sample mean (0 for an empty accumulator).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the unbiased sample variance.
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// Min returns the smallest observation (0 when empty).
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest observation (0 when empty).
+func (w *Welford) Max() float64 { return w.max }
+
+// CI95 returns the half-width of the 95% confidence interval for the mean
+// under the normal approximation (z = 1.96).
+func (w *Welford) CI95() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return 1.96 * w.Std() / math.Sqrt(float64(w.n))
+}
+
+// Merge folds another accumulator into this one (parallel sweep reduction),
+// using Chan et al.'s pairwise update.
+func (w *Welford) Merge(o *Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = *o
+		return
+	}
+	n := w.n + o.n
+	delta := o.mean - w.mean
+	w.m2 += o.m2 + delta*delta*float64(w.n)*float64(o.n)/float64(n)
+	w.mean += delta * float64(o.n) / float64(n)
+	if o.min < w.min {
+		w.min = o.min
+	}
+	if o.max > w.max {
+		w.max = o.max
+	}
+	w.n = n
+}
+
+func (w *Welford) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f std=%.2f min=%.0f max=%.0f", w.n, w.Mean(), w.Std(), w.Min(), w.Max())
+}
+
+// Sample retains observations for exact quantile queries. For the
+// simulator's scale (<= a few hundred thousand samples per point) exact
+// retention is cheaper than sketching and exactly reproducible.
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add appends one observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// Count returns the number of retained observations.
+func (s *Sample) Count() int { return len(s.xs) }
+
+// Quantile returns the q-quantile (0 <= q <= 1) using nearest-rank
+// interpolation; 0 when empty.
+func (s *Sample) Quantile(q float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+	if q <= 0 {
+		return s.xs[0]
+	}
+	if q >= 1 {
+		return s.xs[len(s.xs)-1]
+	}
+	pos := q * float64(len(s.xs)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s.xs) {
+		return s.xs[len(s.xs)-1]
+	}
+	return s.xs[lo]*(1-frac) + s.xs[lo+1]*frac
+}
+
+// Histogram counts observations in fixed-width bins over [0, width*bins);
+// overflow lands in the last bin. It renders compact ASCII for reports.
+type Histogram struct {
+	width float64
+	bins  []uint64
+	total uint64
+}
+
+// NewHistogram builds a histogram with the given bin width and count.
+func NewHistogram(width float64, bins int) *Histogram {
+	if width <= 0 || bins < 1 {
+		panic(fmt.Sprintf("stats: invalid histogram %gx%d", width, bins))
+	}
+	return &Histogram{width: width, bins: make([]uint64, bins)}
+}
+
+// Add counts one observation.
+func (h *Histogram) Add(x float64) {
+	i := int(x / h.width)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.bins) {
+		i = len(h.bins) - 1
+	}
+	h.bins[i]++
+	h.total++
+}
+
+// Bin returns the count of bin i.
+func (h *Histogram) Bin(i int) uint64 { return h.bins[i] }
+
+// Total returns the number of observations.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Render draws one line per non-empty bin with a proportional bar.
+func (h *Histogram) Render(barWidth int) string {
+	if h.total == 0 {
+		return "(empty)\n"
+	}
+	var peak uint64
+	for _, b := range h.bins {
+		if b > peak {
+			peak = b
+		}
+	}
+	out := ""
+	for i, b := range h.bins {
+		if b == 0 {
+			continue
+		}
+		n := int(float64(b) / float64(peak) * float64(barWidth))
+		bar := make([]byte, n)
+		for j := range bar {
+			bar[j] = '#'
+		}
+		out += fmt.Sprintf("[%6.0f,%6.0f) %8d %s\n", float64(i)*h.width, float64(i+1)*h.width, b, bar)
+	}
+	return out
+}

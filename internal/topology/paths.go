@@ -1,0 +1,117 @@
+package topology
+
+// This file contains path geometry helpers shared by the routing algorithms
+// and the test suite: dimension-order path enumeration, wraparound (dateline)
+// detection, and 2-D plane extraction used by the Software-Based rerouting
+// layer, which always reasons about a pair of consecutive dimensions.
+
+// WrapsAround reports whether one hop from coordinate c in direction dir
+// crosses the ring's wraparound edge (between coordinates k-1 and 0). The
+// wraparound edge doubles as the dateline for deadlock-free virtual-channel
+// class assignment (Dally & Seitz).
+func (t *Torus) WrapsAround(c int, dir Dir) bool {
+	if dir == Plus {
+		return c == t.k-1
+	}
+	return c == 0
+}
+
+// EcubePath returns the dimension-order (e-cube) path from src to dst,
+// inclusive of both endpoints: dimensions corrected in increasing order,
+// minimal direction within each ring. This is the fault-free trajectory of
+// the deterministic routing algorithm, used by tests and by the rerouting
+// planner to probe candidate paths for faults.
+func (t *Torus) EcubePath(src, dst NodeID) []NodeID {
+	path := []NodeID{src}
+	cur := src
+	for dim := 0; dim < t.n; dim++ {
+		o := t.RingOffset(t.Coord(cur, dim), t.Coord(dst, dim))
+		dir := Plus
+		if o < 0 {
+			dir = Minus
+			o = -o
+		}
+		for s := 0; s < o; s++ {
+			cur = t.Neighbor(cur, dim, dir)
+			path = append(path, cur)
+		}
+	}
+	return path
+}
+
+// RingPath returns the nodes visited travelling from src along dim in
+// direction dir until the coordinate in dim equals destCoord, inclusive of
+// both endpoints. Unlike EcubePath it honours a forced (possibly non-minimal)
+// direction, which is exactly what a reversed Software-Based message does.
+func (t *Torus) RingPath(src NodeID, dim int, dir Dir, destCoord int) []NodeID {
+	path := []NodeID{src}
+	cur := src
+	for t.Coord(cur, dim) != destCoord {
+		cur = t.Neighbor(cur, dim, dir)
+		path = append(path, cur)
+		if len(path) > t.k+1 {
+			panic("topology: RingPath failed to terminate (corrupt coordinates)")
+		}
+	}
+	return path
+}
+
+// Plane describes the 2-D sub-torus spanned by dimensions (DimA, DimB)
+// through a base node: all other coordinates are frozen to the base node's.
+// SW-Based-nD routes every message through a sequence of such planes.
+type Plane struct {
+	t          *Torus
+	DimA, DimB int
+	base       NodeID
+}
+
+// PlaneThrough returns the plane spanned by (dimA, dimB) through node base.
+func (t *Torus) PlaneThrough(base NodeID, dimA, dimB int) Plane {
+	if dimA == dimB {
+		panic("topology: plane requires two distinct dimensions")
+	}
+	return Plane{t: t, DimA: dimA, DimB: dimB, base: base}
+}
+
+// Node returns the plane member with coordinates (a, b) along (DimA, DimB).
+func (p Plane) Node(a, b int) NodeID {
+	c := p.t.Coords(p.base)
+	c[p.DimA] = a
+	c[p.DimB] = b
+	return p.t.FromCoords(c)
+}
+
+// Contains reports whether id lies in the plane (all frozen coordinates
+// match the base node's).
+func (p Plane) Contains(id NodeID) bool {
+	for d := 0; d < p.t.n; d++ {
+		if d == p.DimA || d == p.DimB {
+			continue
+		}
+		if p.t.Coord(id, d) != p.t.Coord(p.base, d) {
+			return false
+		}
+	}
+	return true
+}
+
+// Nodes enumerates all k*k members of the plane in (a-major, b-minor) order.
+func (p Plane) Nodes() []NodeID {
+	out := make([]NodeID, 0, p.t.k*p.t.k)
+	for a := 0; a < p.t.k; a++ {
+		for b := 0; b < p.t.k; b++ {
+			out = append(out, p.Node(a, b))
+		}
+	}
+	return out
+}
+
+// Neighbors4 returns the four in-plane neighbours of id (±DimA, ±DimB).
+func (p Plane) Neighbors4(id NodeID) [4]NodeID {
+	return [4]NodeID{
+		p.t.Neighbor(id, p.DimA, Plus),
+		p.t.Neighbor(id, p.DimA, Minus),
+		p.t.Neighbor(id, p.DimB, Plus),
+		p.t.Neighbor(id, p.DimB, Minus),
+	}
+}

@@ -1,0 +1,74 @@
+package topology
+
+import "fmt"
+
+// Port identifies one of a router's physical channel endpoints. Network
+// ports are numbered 0..2n-1 with port 2*dim for the Plus direction and
+// 2*dim+1 for Minus; the two local ports (injection from and ejection to the
+// processing element) follow.
+type Port int
+
+// PortFor returns the network output port leaving a node along dim towards
+// dir.
+func PortFor(dim int, dir Dir) Port {
+	if dir == Plus {
+		return Port(2 * dim)
+	}
+	return Port(2*dim + 1)
+}
+
+// Dim returns the dimension a network port travels along.
+func (p Port) Dim() int { return int(p) / 2 }
+
+// Dir returns the direction a network port travels.
+func (p Port) Dir() Dir {
+	if int(p)%2 == 0 {
+		return Plus
+	}
+	return Minus
+}
+
+// Opposite returns the port on the neighbouring router that receives what
+// this output port sends (same dimension, reverse direction).
+func (p Port) Opposite() Port { return PortFor(p.Dim(), p.Dir().Opposite()) }
+
+func (p Port) String() string {
+	return fmt.Sprintf("d%d%s", p.Dim(), p.Dir())
+}
+
+// InjectionPort returns the index of the injection (PE -> router) port for a
+// torus of n dimensions; EjectionPort the (router -> PE) port. They share the
+// index space with network ports so arbiter tables can be flat arrays.
+func InjectionPort(n int) Port { return Port(2 * n) }
+
+// EjectionPort returns the ejection port index for an n-dimensional torus.
+func EjectionPort(n int) Port { return Port(2 * n) }
+
+// ChannelID names a unidirectional physical channel: the output port `Port`
+// of node `Src`. Virtual channels are (ChannelID, vc index) pairs; packages
+// that need them (deadlock analysis) build their own composite keys.
+type ChannelID struct {
+	Src  NodeID
+	Port Port
+}
+
+// Dst returns the node this channel delivers to.
+func (c ChannelID) Dst(t *Torus) NodeID {
+	return t.Neighbor(c.Src, c.Port.Dim(), c.Port.Dir())
+}
+
+func (c ChannelID) String() string {
+	return fmt.Sprintf("ch[%d:%s]", c.Src, c.Port)
+}
+
+// Channels enumerates every unidirectional network channel of the torus in a
+// deterministic order (node-major, then port).
+func (t *Torus) Channels() []ChannelID {
+	out := make([]ChannelID, 0, t.Nodes()*t.Degree())
+	for id := 0; id < t.Nodes(); id++ {
+		for p := 0; p < t.Degree(); p++ {
+			out = append(out, ChannelID{Src: NodeID(id), Port: Port(p)})
+		}
+	}
+	return out
+}

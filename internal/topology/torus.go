@@ -1,0 +1,206 @@
+// Package topology models k-ary n-cube (torus) interconnection networks:
+// node addressing, channel/port naming, neighbourhood, and minimal-path
+// geometry, exactly as described in Section 2 of Safaei et al. (IPDPS 2006).
+//
+// A k-ary n-cube consists of N = k^n nodes arranged in an n-dimensional cube
+// with k nodes along each dimension. Each node carries an n-digit radix-k
+// address and is connected by a pair of unidirectional channels (one per
+// direction) to the nodes whose address differs by ±1 (mod k) in exactly one
+// digit. The topology is regular and edge-symmetric.
+package topology
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NodeID identifies a node as the radix-k integer encoding of its address:
+// id = a0 + a1*k + a2*k^2 + ... for address digits a0..a(n-1).
+type NodeID int
+
+// Dir is a direction along a dimension: Plus moves towards increasing
+// coordinates (with wraparound), Minus towards decreasing.
+type Dir int8
+
+const (
+	// Plus is the +1 (mod k) direction along a dimension.
+	Plus Dir = +1
+	// Minus is the -1 (mod k) direction along a dimension.
+	Minus Dir = -1
+)
+
+// Opposite returns the reverse direction.
+func (d Dir) Opposite() Dir { return -d }
+
+func (d Dir) String() string {
+	if d == Plus {
+		return "+"
+	}
+	return "-"
+}
+
+// Torus is an immutable k-ary n-cube descriptor. All methods are safe for
+// concurrent use.
+type Torus struct {
+	k int // radix: nodes per dimension
+	n int // number of dimensions
+	// pow[i] = k^i, cached for fast address arithmetic.
+	pow []int
+}
+
+// New constructs a k-ary n-cube. It panics on degenerate parameters
+// (k < 2 or n < 1): those are programming errors, not runtime conditions.
+func New(k, n int) *Torus {
+	if k < 2 {
+		panic(fmt.Sprintf("topology: radix k must be >= 2, got %d", k))
+	}
+	if n < 1 {
+		panic(fmt.Sprintf("topology: dimension n must be >= 1, got %d", n))
+	}
+	pow := make([]int, n+1)
+	pow[0] = 1
+	for i := 1; i <= n; i++ {
+		pow[i] = pow[i-1] * k
+	}
+	return &Torus{k: k, n: n, pow: pow}
+}
+
+// K returns the radix (nodes per dimension).
+func (t *Torus) K() int { return t.k }
+
+// N returns the number of dimensions.
+func (t *Torus) N() int { return t.n }
+
+// Nodes returns the total node count k^n.
+func (t *Torus) Nodes() int { return t.pow[t.n] }
+
+// Degree returns the number of network ports per router (2 per dimension).
+func (t *Torus) Degree() int { return 2 * t.n }
+
+// Coord returns the address digit of node id along dimension dim.
+func (t *Torus) Coord(id NodeID, dim int) int {
+	return (int(id) / t.pow[dim]) % t.k
+}
+
+// Coords decomposes a node id into its full address {a0, ..., a(n-1)}.
+func (t *Torus) Coords(id NodeID) []int {
+	c := make([]int, t.n)
+	v := int(id)
+	for i := 0; i < t.n; i++ {
+		c[i] = v % t.k
+		v /= t.k
+	}
+	return c
+}
+
+// FromCoords composes a node id from an address. Digits are reduced mod k so
+// callers may pass unnormalised (e.g. negative) coordinates.
+func (t *Torus) FromCoords(c []int) NodeID {
+	if len(c) != t.n {
+		panic(fmt.Sprintf("topology: FromCoords got %d digits, want %d", len(c), t.n))
+	}
+	id := 0
+	for i := t.n - 1; i >= 0; i-- {
+		d := c[i] % t.k
+		if d < 0 {
+			d += t.k
+		}
+		id = id*t.k + d
+	}
+	return NodeID(id)
+}
+
+// Neighbor returns the node adjacent to id along dim in direction dir,
+// with wraparound.
+func (t *Torus) Neighbor(id NodeID, dim int, dir Dir) NodeID {
+	c := t.Coord(id, dim)
+	nc := c + int(dir)
+	if nc < 0 {
+		nc += t.k
+	} else if nc >= t.k {
+		nc -= t.k
+	}
+	return NodeID(int(id) + (nc-c)*t.pow[dim])
+}
+
+// RingOffset returns the minimal signed hop offset from coordinate a to b on
+// a k-node ring: the value o with |o| minimal such that a+o ≡ b (mod k).
+// Ties (|o| = k/2 for even k) resolve to the positive direction, matching the
+// usual dimension-order convention.
+func (t *Torus) RingOffset(a, b int) int {
+	d := b - a
+	if d < 0 {
+		d += t.k
+	}
+	if 2*d <= t.k {
+		return d
+	}
+	return d - t.k
+}
+
+// RingDist returns the minimal hop count between two coordinates on a ring.
+func (t *Torus) RingDist(a, b int) int {
+	o := t.RingOffset(a, b)
+	if o < 0 {
+		return -o
+	}
+	return o
+}
+
+// Distance returns the minimal hop count between two nodes (sum of per-
+// dimension ring distances).
+func (t *Torus) Distance(a, b NodeID) int {
+	d := 0
+	for i := 0; i < t.n; i++ {
+		d += t.RingDist(t.Coord(a, i), t.Coord(b, i))
+	}
+	return d
+}
+
+// MinimalDirs returns, for each dimension, the direction(s) of minimal
+// progress from src towards dst: Plus, Minus, 0 if the coordinate already
+// matches. When both ways around the ring are equal length (even k, offset
+// exactly k/2), the positive direction is reported; adaptive routers treat
+// either as profitable via BothMinimal.
+func (t *Torus) MinimalDirs(src, dst NodeID) []Dir {
+	dirs := make([]Dir, t.n)
+	for i := 0; i < t.n; i++ {
+		o := t.RingOffset(t.Coord(src, i), t.Coord(dst, i))
+		switch {
+		case o > 0:
+			dirs[i] = Plus
+		case o < 0:
+			dirs[i] = Minus
+		default:
+			dirs[i] = 0
+		}
+	}
+	return dirs
+}
+
+// BothMinimal reports whether, along dimension dim, both ring directions from
+// src to dst are minimal (possible only for even k at offset k/2).
+func (t *Torus) BothMinimal(src, dst NodeID, dim int) bool {
+	d := t.RingDist(t.Coord(src, dim), t.Coord(dst, dim))
+	return d*2 == t.k
+}
+
+// Valid reports whether id is a legal node identifier for this torus.
+func (t *Torus) Valid(id NodeID) bool {
+	return id >= 0 && int(id) < t.Nodes()
+}
+
+// String renders, e.g., "8-ary 2-cube (64 nodes)".
+func (t *Torus) String() string {
+	return fmt.Sprintf("%d-ary %d-cube (%d nodes)", t.k, t.n, t.Nodes())
+}
+
+// FormatNode renders a node address as "(a0,a1,...)" for logs and traces.
+func (t *Torus) FormatNode(id NodeID) string {
+	c := t.Coords(id)
+	parts := make([]string, len(c))
+	for i, v := range c {
+		parts[i] = fmt.Sprint(v)
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}

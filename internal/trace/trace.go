@@ -1,0 +1,149 @@
+// Package trace records per-message event streams from the simulation
+// engine: hops, absorptions, via stops, re-injections and deliveries. It
+// serves two purposes: debugging (inspect exactly what one message did) and
+// deep invariant testing (assert engine-level properties like "no flit ever
+// enters a faulty node" over whole runs).
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/topology"
+)
+
+// Kind enumerates traceable events.
+type Kind uint8
+
+const (
+	// Inject: a worm's head entered the network at Node (first injection or
+	// re-injection).
+	Inject Kind = iota
+	// Hop: a head flit traversed a link into Node.
+	Hop
+	// AbsorbStart: routing decided to eject the worm at Node due to a fault.
+	AbsorbStart
+	// ViaStop: the worm fully ejected at an intermediate destination.
+	ViaStop
+	// FaultStop: the worm fully ejected after a fault absorption.
+	FaultStop
+	// Deliver: the tail flit reached the destination PE at Node.
+	Deliver
+	// Drop: the message was discarded as unroutable.
+	Drop
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Inject:
+		return "inject"
+	case Hop:
+		return "hop"
+	case AbsorbStart:
+		return "absorb"
+	case ViaStop:
+		return "via"
+	case FaultStop:
+		return "fault-stop"
+	case Deliver:
+		return "deliver"
+	case Drop:
+		return "drop"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one step in a message's life.
+type Event struct {
+	Cycle int64
+	Msg   uint64
+	Kind  Kind
+	Node  topology.NodeID
+}
+
+// Tracer receives events from the engine. Implementations must be cheap;
+// the engine calls them inline.
+type Tracer interface {
+	Trace(ev Event)
+}
+
+// Recorder retains every event, grouped by message, for post-run assertions.
+type Recorder struct {
+	byMsg map[uint64][]Event
+	count int
+}
+
+// NewRecorder returns an empty Recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{byMsg: make(map[uint64][]Event)}
+}
+
+// Trace implements Tracer.
+func (r *Recorder) Trace(ev Event) {
+	r.byMsg[ev.Msg] = append(r.byMsg[ev.Msg], ev)
+	r.count++
+}
+
+// Events returns the event stream of one message in arrival order.
+func (r *Recorder) Events(msg uint64) []Event { return r.byMsg[msg] }
+
+// Messages returns the number of distinct traced messages.
+func (r *Recorder) Messages() int { return len(r.byMsg) }
+
+// Count returns the total number of events.
+func (r *Recorder) Count() int { return r.count }
+
+// Render formats one message's history for debugging.
+func (r *Recorder) Render(t *topology.Torus, msg uint64) string {
+	evs := r.byMsg[msg]
+	if len(evs) == 0 {
+		return fmt.Sprintf("msg#%d: no events\n", msg)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "msg#%d:\n", msg)
+	for _, ev := range evs {
+		fmt.Fprintf(&b, "  @%-8d %-10s %s\n", ev.Cycle, ev.Kind, t.FormatNode(ev.Node))
+	}
+	return b.String()
+}
+
+// Verify checks structural invariants of every traced message's history:
+//
+//   - the stream starts with Inject and ends with Deliver or Drop,
+//   - consecutive Hop events visit adjacent nodes,
+//   - every software stop is followed by a re-Inject at the same node,
+//   - cycles are non-decreasing.
+//
+// It returns the first violation found, or nil.
+func (r *Recorder) Verify(t *topology.Torus) error {
+	for id, evs := range r.byMsg {
+		if evs[0].Kind != Inject {
+			return fmt.Errorf("msg#%d: first event %v, want inject", id, evs[0].Kind)
+		}
+		last := evs[len(evs)-1]
+		if last.Kind != Deliver && last.Kind != Drop {
+			return fmt.Errorf("msg#%d: last event %v, want deliver/drop", id, last.Kind)
+		}
+		cur := evs[0].Node
+		for i := 1; i < len(evs); i++ {
+			ev := evs[i]
+			if ev.Cycle < evs[i-1].Cycle {
+				return fmt.Errorf("msg#%d: time went backwards at event %d", id, i)
+			}
+			switch ev.Kind {
+			case Hop:
+				if t.Distance(cur, ev.Node) != 1 {
+					return fmt.Errorf("msg#%d: hop %s -> %s not adjacent",
+						id, t.FormatNode(cur), t.FormatNode(ev.Node))
+				}
+				cur = ev.Node
+			case Inject, AbsorbStart, ViaStop, FaultStop, Deliver, Drop:
+				if ev.Node != cur {
+					return fmt.Errorf("msg#%d: %v at %s but worm is at %s",
+						id, ev.Kind, t.FormatNode(ev.Node), t.FormatNode(cur))
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,199 @@
+// Package traffic generates the synthetic workloads of the paper's
+// evaluation (§5.1): every healthy node generates messages independently,
+// following a Poisson process with mean rate λ messages/node/cycle, with
+// fixed message length and a configurable destination pattern (the paper
+// uses uniformly random destinations; transpose and hotspot are provided
+// for the extended experiments).
+package traffic
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/message"
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+// Pattern selects a destination for a message generated at src. Pick must
+// return a healthy node different from src; patterns are constructed with
+// the fault configuration so they can honour that contract.
+type Pattern interface {
+	Name() string
+	Pick(src topology.NodeID, r *rng.Stream) topology.NodeID
+}
+
+// Uniform picks destinations uniformly at random among healthy nodes other
+// than the source — the paper's workload.
+type Uniform struct {
+	healthy []topology.NodeID
+	index   map[topology.NodeID]int
+}
+
+// NewUniform builds the uniform pattern over the healthy nodes of f.
+func NewUniform(f *fault.Set) *Uniform {
+	h := f.HealthyNodes()
+	idx := make(map[topology.NodeID]int, len(h))
+	for i, id := range h {
+		idx[id] = i
+	}
+	return &Uniform{healthy: h, index: idx}
+}
+
+// Name implements Pattern.
+func (u *Uniform) Name() string { return "uniform" }
+
+// Pick implements Pattern. It draws from healthy nodes excluding src by
+// remapping the last element onto src's slot, keeping the draw single-shot
+// and uniform.
+func (u *Uniform) Pick(src topology.NodeID, r *rng.Stream) topology.NodeID {
+	n := len(u.healthy)
+	si, srcHealthy := u.index[src]
+	if !srcHealthy {
+		return u.healthy[r.Intn(n)]
+	}
+	j := r.Intn(n - 1)
+	if j == si {
+		j = n - 1
+	}
+	return u.healthy[j]
+}
+
+// Transpose sends (a0, a1, ..., a(n-1)) to (a1, ..., a(n-1), a0): the
+// classic adversarial permutation generalised to n dimensions. Faulty or
+// self destinations fall back to uniform.
+type Transpose struct {
+	t        *topology.Torus
+	f        *fault.Set
+	fallback *Uniform
+}
+
+// NewTranspose builds the transpose pattern.
+func NewTranspose(t *topology.Torus, f *fault.Set) *Transpose {
+	return &Transpose{t: t, f: f, fallback: NewUniform(f)}
+}
+
+// Name implements Pattern.
+func (p *Transpose) Name() string { return "transpose" }
+
+// Pick implements Pattern.
+func (p *Transpose) Pick(src topology.NodeID, r *rng.Stream) topology.NodeID {
+	c := p.t.Coords(src)
+	rot := make([]int, len(c))
+	copy(rot, c[1:])
+	rot[len(c)-1] = c[0]
+	dst := p.t.FromCoords(rot)
+	if dst == src || p.f.NodeFaulty(dst) {
+		return p.fallback.Pick(src, r)
+	}
+	return dst
+}
+
+// Hotspot mixes a base pattern with a fixed hot node: with probability Frac
+// the destination is the hotspot (unless it equals src or is faulty).
+type Hotspot struct {
+	Base Pattern
+	Spot topology.NodeID
+	Frac float64
+	f    *fault.Set
+}
+
+// NewHotspot builds a hotspot pattern over base.
+func NewHotspot(base Pattern, spot topology.NodeID, frac float64, f *fault.Set) *Hotspot {
+	return &Hotspot{Base: base, Spot: spot, Frac: frac, f: f}
+}
+
+// Name implements Pattern.
+func (p *Hotspot) Name() string { return fmt.Sprintf("hotspot(%d,%.2f)", p.Spot, p.Frac) }
+
+// Pick implements Pattern.
+func (p *Hotspot) Pick(src topology.NodeID, r *rng.Stream) topology.NodeID {
+	if r.Float64() < p.Frac && p.Spot != src && !p.f.NodeFaulty(p.Spot) {
+		return p.Spot
+	}
+	return p.Base.Pick(src, r)
+}
+
+// arrival is a scheduled message generation event at a node.
+type arrival struct {
+	at   int64
+	node topology.NodeID
+}
+
+type arrivalHeap []arrival
+
+func (h arrivalHeap) Len() int           { return len(h) }
+func (h arrivalHeap) Less(i, j int) bool { return h[i].at < h[j].at }
+func (h arrivalHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *arrivalHeap) Push(x any)        { *h = append(*h, x.(arrival)) }
+func (h *arrivalHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+func (h arrivalHeap) Peek() (arrival, bool) {
+	if len(h) == 0 {
+		return arrival{}, false
+	}
+	return h[0], true
+}
+
+// Generator produces messages: each healthy node is an independent Poisson
+// source of rate Lambda messages/cycle. Arrival times are pre-scheduled per
+// node on an event heap, so per-cycle cost is proportional to the number of
+// arrivals, not the number of nodes.
+type Generator struct {
+	t       *topology.Torus
+	lambda  float64
+	msgLen  int
+	mode    message.Mode
+	pattern Pattern
+	r       *rng.Stream
+	heap    arrivalHeap
+	nextID  uint64
+	created uint64
+}
+
+// NewGenerator builds a generator. lambda is the per-node rate in
+// messages/node/cycle; msgLen the fixed message length in flits; sources are
+// the healthy nodes that generate traffic.
+func NewGenerator(t *topology.Torus, sources []topology.NodeID, lambda float64, msgLen int, mode message.Mode, pattern Pattern, r *rng.Stream) *Generator {
+	if lambda <= 0 {
+		panic(fmt.Sprintf("traffic: lambda must be positive, got %g", lambda))
+	}
+	if msgLen < 1 {
+		panic(fmt.Sprintf("traffic: message length must be >= 1, got %d", msgLen))
+	}
+	g := &Generator{t: t, lambda: lambda, msgLen: msgLen, mode: mode, pattern: pattern, r: r}
+	mean := 1.0 / lambda
+	for _, src := range sources {
+		// First arrival at an exponential offset: stationary start.
+		g.heap = append(g.heap, arrival{at: int64(r.Exp(mean)) + 1, node: src})
+	}
+	heap.Init(&g.heap)
+	return g
+}
+
+// Poll returns the messages generated at cycle `now` (creation times <= now
+// that have not been returned yet) and schedules each source's next arrival.
+func (g *Generator) Poll(now int64) []*message.Message {
+	var out []*message.Message
+	mean := 1.0 / g.lambda
+	for {
+		top, ok := g.heap.Peek()
+		if !ok || top.at > now {
+			return out
+		}
+		heap.Pop(&g.heap)
+		dst := g.pattern.Pick(top.node, g.r)
+		m := message.New(g.nextID, top.node, dst, g.msgLen, g.t.N(), g.mode, now)
+		g.nextID++
+		g.created++
+		out = append(out, m)
+		gap := int64(g.r.Exp(mean))
+		if gap < 1 {
+			gap = 1
+		}
+		heap.Push(&g.heap, arrival{at: top.at + gap, node: top.node})
+	}
+}
+
+// Created returns the total number of messages generated so far.
+func (g *Generator) Created() uint64 { return g.created }

@@ -1,0 +1,66 @@
+// Package viz renders 2-D planes of a torus as ASCII grids, primarily to
+// reproduce Fig. 1 of the paper (examples of coalesced fault regions) and to
+// make fault configurations inspectable from the command line.
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/fault"
+	"repro/internal/topology"
+)
+
+// RenderPlane draws the (dimA, dimB) plane through base. Faulty nodes print
+// as '#', healthy as '.', with dimA across and dimB down (origin top-left).
+func RenderPlane(fs *fault.Set, base topology.NodeID, dimA, dimB int) string {
+	t := fs.Torus()
+	pl := t.PlaneThrough(base, dimA, dimB)
+	var b strings.Builder
+	fmt.Fprintf(&b, "    dim%d ->\n", dimA)
+	for y := 0; y < t.K(); y++ {
+		if y == 0 {
+			fmt.Fprintf(&b, "dim%d ", dimB)
+		} else {
+			b.WriteString("     ")
+		}
+		for x := 0; x < t.K(); x++ {
+			if fs.NodeFaulty(pl.Node(x, y)) {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte('.')
+			}
+			b.WriteByte(' ')
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderRegions summarises every coalesced region: size, shape class, and
+// per-dimension extents.
+func RenderRegions(fs *fault.Set) string {
+	t := fs.Torus()
+	regs := fs.Regions()
+	if len(regs) == 0 {
+		return "no fault regions\n"
+	}
+	var b strings.Builder
+	for i, r := range regs {
+		kind := "concave"
+		if r.Convex() {
+			kind = "convex"
+		}
+		fmt.Fprintf(&b, "region %d: %d nodes, %s, extents", i, r.Size(), kind)
+		for d := 0; d < t.N(); d++ {
+			e := r.Extent(d)
+			wrap := ""
+			if e.Wraps {
+				wrap = "w"
+			}
+			fmt.Fprintf(&b, " d%d:[%d..%d]%s", d, e.Lo, e.Hi, wrap)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
