@@ -170,3 +170,29 @@ func fig7Point(b *testing.B, adaptive bool) {
 
 func BenchmarkFig7QueuedDet(b *testing.B)      { fig7Point(b, false) }
 func BenchmarkFig7QueuedAdaptive(b *testing.B) { fig7Point(b, true) }
+
+// Engine-scheduler benchmarks: cost of one Step at a low offered load on a
+// 24-ary 2-cube (576 routers, nearly all idle in any given cycle). The
+// active-set scheduler touches only routers that can make progress; the
+// dense scan — the engine's original behaviour, kept behind the
+// Config.DenseScan knob — visits all 576 every cycle. Results are
+// bit-identical between the two (see TestActiveSetMatchesDenseScan); only
+// the wall-clock cost per simulated cycle differs.
+
+func stepBench(b *testing.B, dense bool) {
+	c := core.DefaultConfig(24, 2, 0.0002)
+	c.V = 4
+	c.DenseScan = dense
+	c.MeasureMessages = 1 << 30 // never stop on quota; MaxCycles bounds the run
+	c.MaxCycles = int64(b.N)
+	if c.MaxCycles < 1000 {
+		c.MaxCycles = 1000
+	}
+	c.SaturationBacklog = 1 << 30
+	if _, err := core.Run(c); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkStepActiveSet(b *testing.B) { stepBench(b, false) }
+func BenchmarkStepDenseScan(b *testing.B) { stepBench(b, true) }

@@ -10,9 +10,9 @@
 //     flit-level simulator across a traffic sweep;
 //
 //   - `-mode livelock` exhaustively walks every healthy (src, dst) pair
-//     under a fault configuration and reports the worst-case number of
-//     software stops — the empirical content of §4's livelock-freedom
-//     claim.
+//     under a fault configuration, for every algorithm in the routing
+//     registry, and reports the worst-case number of software stops — the
+//     empirical content of §4's livelock-freedom claim.
 //
 // Examples:
 //
@@ -99,22 +99,14 @@ func analyzeLivelock(k, n, v, m, nf int, seed uint64) {
 		}
 		fmt.Printf("faulty nodes: %v\n", fs.FaultyNodes())
 	}
-	for _, adaptive := range []bool{false, true} {
-		var alg *routing.Algorithm
-		var err error
-		name := "deterministic"
-		if adaptive {
-			alg, err = routing.NewAdaptive(t, fs, max(v, 3))
-			name = "adaptive"
-		} else {
-			alg, err = routing.NewDeterministic(t, fs, v)
-		}
+	for _, info := range routing.Algorithms() {
+		alg, err := routing.New(info.Name, t, fs, max(v, info.MinV))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "analyze: %v\n", err)
 			os.Exit(1)
 		}
 		rep := routing.AnalyzeLivelock(alg, m, 0)
-		fmt.Printf("%-14s %v\n", name+":", rep)
+		fmt.Printf("%-18s %v\n", info.Name+":", rep)
 		if rep.Undelivered > 0 {
 			fmt.Println("LIVELOCK/DISCONNECTION SUSPECTED: some pairs undelivered")
 			os.Exit(1)

@@ -9,7 +9,9 @@ import (
 // figExt runs the extended experiments the paper alludes to but does not
 // plot ("numerous experiments have been performed for different sizes of
 // the network and message length", §5.2): larger radix, higher
-// dimensionality, and non-uniform traffic patterns under faults.
+// dimensionality, and non-uniform traffic patterns under faults — the
+// latter across every interesting registry algorithm, which is where the
+// Valiant two-phase baseline earns its keep.
 func (h *harness) figExt() {
 	fmt.Println("\n===== Extended experiments (sizes and patterns beyond the plotted figures) =====")
 	h.extSizes()
@@ -26,37 +28,34 @@ func (h *harness) extSizes() {
 		{4, 4, 0, 6}, {4, 4, 12, 6}, // higher dimensionality
 	}
 	grid := []float64{0.002, 0.004, 0.006, 0.008}
+	algs := []string{"det", "adaptive"}
 	var points []core.Point
-	label := func(c netCase, adaptive bool, l float64) string {
-		return fmt.Sprintf("%dx%d|nf%d|a%v|l%g", c.k, c.n, c.nf, adaptive, l)
+	label := func(c netCase, alg string, l float64) string {
+		return fmt.Sprintf("%dx%d|nf%d|%s|l%g", c.k, c.n, c.nf, alg, l)
 	}
 	for _, c := range cases {
-		for _, adaptive := range []bool{false, true} {
+		for _, alg := range algs {
 			for _, l := range grid {
 				cfg := h.base(c.k, c.n, l)
 				cfg.V = c.v
-				cfg.Adaptive = adaptive
+				cfg.Algorithm = alg
 				cfg.Faults.RandomNodes = c.nf
 				cfg.Seed = 1001
-				points = append(points, core.Point{Label: label(c, adaptive, l), Config: cfg})
+				points = append(points, core.Point{Label: label(c, alg, l), Config: cfg})
 			}
 		}
 	}
 	res := h.run(points)
 	var cols []string
 	type curve struct {
-		c        netCase
-		adaptive bool
+		c   netCase
+		alg string
 	}
 	var curves []curve
 	for _, c := range cases {
-		for _, adaptive := range []bool{false, true} {
-			mode := "det"
-			if adaptive {
-				mode = "adp"
-			}
-			cols = append(cols, fmt.Sprintf("%d-ary %d, nf%d %s", c.k, c.n, c.nf, mode))
-			curves = append(curves, curve{c, adaptive})
+		for _, alg := range algs {
+			cols = append(cols, fmt.Sprintf("%d-ary %d, nf%d %s", c.k, c.n, c.nf, shortAlg(alg)))
+			curves = append(curves, curve{c, alg})
 		}
 	}
 	rows := make([]string, len(grid))
@@ -66,45 +65,45 @@ func (h *harness) extSizes() {
 	printTable("Ext A: latency across network sizes (mean cycles; * = saturated)", cols, rows,
 		func(ri, ci int) string {
 			cu := curves[ci]
-			return latencyCell(res[label(cu.c, cu.adaptive, grid[ri])])
+			return latencyCell(res[label(cu.c, cu.alg, grid[ri])])
 		})
 }
 
+// extPatterns compares every latency-relevant registry algorithm across
+// traffic patterns under faults. Uniform traffic favours minimal routing;
+// transpose and hotspot are where Valiant's two-phase load balancing is
+// designed to pay off.
 func (h *harness) extPatterns() {
 	patterns := []string{"uniform", "transpose", "hotspot"}
+	algs := []string{"det", "adaptive", "valiant", "valiant-adaptive"}
 	grid := []float64{0.002, 0.004, 0.006}
 	var points []core.Point
-	label := func(p string, adaptive bool, l float64) string {
-		return fmt.Sprintf("%s|a%v|l%g", p, adaptive, l)
+	label := func(p, alg string, l float64) string {
+		return fmt.Sprintf("%s|%s|l%g", p, alg, l)
 	}
 	for _, p := range patterns {
-		for _, adaptive := range []bool{false, true} {
+		for _, alg := range algs {
 			for _, l := range grid {
 				cfg := h.base(8, 2, l)
 				cfg.V = 6
-				cfg.Adaptive = adaptive
+				cfg.Algorithm = alg
 				cfg.Pattern = p
 				cfg.Faults.RandomNodes = 4
 				cfg.Seed = 1002
-				points = append(points, core.Point{Label: label(p, adaptive, l), Config: cfg})
+				points = append(points, core.Point{Label: label(p, alg, l), Config: cfg})
 			}
 		}
 	}
 	res := h.run(points)
 	var cols []string
 	type curve struct {
-		p        string
-		adaptive bool
+		p, alg string
 	}
 	var curves []curve
 	for _, p := range patterns {
-		for _, adaptive := range []bool{false, true} {
-			mode := "det"
-			if adaptive {
-				mode = "adp"
-			}
-			cols = append(cols, fmt.Sprintf("%s %s", p, mode))
-			curves = append(curves, curve{p, adaptive})
+		for _, alg := range algs {
+			cols = append(cols, fmt.Sprintf("%s %s", p, shortAlg(alg)))
+			curves = append(curves, curve{p, alg})
 		}
 	}
 	rows := make([]string, len(grid))
@@ -114,6 +113,6 @@ func (h *harness) extPatterns() {
 	printTable("Ext B: traffic patterns under 4 random faults, 8-ary 2-cube, V=6 (mean cycles)", cols, rows,
 		func(ri, ci int) string {
 			cu := curves[ci]
-			return latencyCell(res[label(cu.p, cu.adaptive, grid[ri])])
+			return latencyCell(res[label(cu.p, cu.alg, grid[ri])])
 		})
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/routing"
 	"repro/internal/topology"
 	"repro/internal/viz"
 )
@@ -39,24 +40,21 @@ func (h *harness) fig1() {
 }
 
 // latencyFigure renders one latency-vs-traffic figure: a panel per
-// (routing, V), curves per (M, nf). Faulted curves average over h.seeds
-// random placements ("to make the results independent of relative positions
-// of failures", §5.2); a point prints as saturated when at least half its
-// placements saturate.
+// (routing algorithm, V), curves per (M, nf). Faulted curves average over
+// h.seeds random placements ("to make the results independent of relative
+// positions of failures", §5.2); a point prints as saturated when at least
+// half its placements saturate.
 func (h *harness) latencyFigure(figName string, k, n int, vs []int, ms []int, nfs []int) {
-	for _, adaptive := range []bool{false, true} {
-		routing := "Deterministic"
-		if adaptive {
-			routing = "Adaptive"
-		}
+	for _, algName := range []string{"det", "adaptive"} {
+		info, _ := routing.Lookup(algName)
 		for _, v := range vs {
-			if adaptive && v < 3 {
+			if v < info.MinV {
 				continue
 			}
 			grid := h.lambdaGrid(v)
 			var points []core.Point
 			label := func(m, nf int, l float64, s int) string {
-				return fmt.Sprintf("%s|v%d|m%d|nf%d|l%g|s%d", routing, v, m, nf, l, s)
+				return fmt.Sprintf("%s|v%d|m%d|nf%d|l%g|s%d", algName, v, m, nf, l, s)
 			}
 			seedsFor := func(nf int) int {
 				if nf == 0 {
@@ -71,7 +69,7 @@ func (h *harness) latencyFigure(figName string, k, n int, vs []int, ms []int, nf
 							c := h.base(k, n, l)
 							c.V = v
 							c.MsgLen = m
-							c.Adaptive = adaptive
+							c.Algorithm = algName
 							c.Faults.RandomNodes = nf
 							c.Seed = uint64(1000 + s)
 							points = append(points, core.Point{Label: label(m, nf, l, s), Config: c})
@@ -122,7 +120,7 @@ func (h *harness) latencyFigure(figName string, k, n int, vs []int, ms []int, nf
 				}
 			}
 			printTable(
-				fmt.Sprintf("%s: %s routing, %d-ary %d-cube, V=%d (mean latency, cycles; * = saturated)", figName, routing, k, n, v),
+				fmt.Sprintf("%s: %s routing, %d-ary %d-cube, V=%d (mean latency, cycles; * = saturated)", figName, algName, k, n, v),
 				cols, rows,
 				func(ri, ci int) string {
 					v := vals[ci][ri]
@@ -179,19 +177,16 @@ func (h *harness) fig5() {
 	label := func(routing, shape string, l float64) string {
 		return fmt.Sprintf("%s|%s|l%g", routing, shape, l)
 	}
-	for _, adaptive := range []bool{false, true} {
-		routing := "det"
-		if adaptive {
-			routing = "adp"
-		}
+	for _, algName := range []string{"det", "adaptive"} {
+		short := shortAlg(algName)
 		for _, shape := range order {
 			for _, l := range grid {
 				c := h.base(8, 2, l)
 				c.V = 10
 				c.MsgLen = 32
-				c.Adaptive = adaptive
+				c.Algorithm = algName
 				c.Faults.Shapes = []core.ShapeStamp{{Spec: specs[shape], DimA: 0, DimB: 1}}
-				points = append(points, core.Point{Label: label(routing, shape, l), Config: c})
+				points = append(points, core.Point{Label: label(short, shape, l), Config: c})
 			}
 		}
 	}
@@ -214,6 +209,22 @@ func (h *harness) fig5() {
 		cu := curves[ci]
 		return latencyCell(res[label(cu.routing, cu.shape, grid[ri])])
 	})
+}
+
+// shortAlg maps registry algorithm names to the two-to-three letter column
+// tags the figure tables use.
+func shortAlg(name string) string {
+	switch name {
+	case "det":
+		return "det"
+	case "adaptive":
+		return "adp"
+	case "valiant":
+		return "val"
+	case "valiant-adaptive":
+		return "vla"
+	}
+	return name
 }
 
 func shortShape(s string) string {
@@ -244,24 +255,21 @@ func (h *harness) fig6() {
 	label := func(routing string, nf, seed int) string {
 		return fmt.Sprintf("%s|nf%d|s%d", routing, nf, seed)
 	}
-	for _, adaptive := range []bool{false, true} {
-		routing := "det"
-		if adaptive {
-			routing = "adp"
-		}
+	for _, algName := range []string{"det", "adaptive"} {
+		short := shortAlg(algName)
 		for _, nf := range nfs {
 			for s := 0; s < h.seeds; s++ {
 				c := h.base(16, 2, lambda)
 				c.V = 6
 				c.MsgLen = 32
-				c.Adaptive = adaptive
+				c.Algorithm = algName
 				c.Faults.RandomNodes = nf
 				c.Seed = uint64(1000 + s)
 				// Throughput runs are capacity measurements: let them run a
 				// fixed horizon rather than stopping at a backlog.
 				c.SaturationBacklog = 1 << 30
 				c.MaxCycles = int64(h.scale.measure) * 40
-				points = append(points, core.Point{Label: label(routing, nf, s), Config: c})
+				points = append(points, core.Point{Label: label(short, nf, s), Config: c})
 			}
 		}
 	}
@@ -300,21 +308,18 @@ func (h *harness) fig7() {
 	label := func(routing string, rate, nf, seed int) string {
 		return fmt.Sprintf("%s|g%d|nf%d|s%d", routing, rate, nf, seed)
 	}
-	for _, adaptive := range []bool{false, true} {
-		routing := "det"
-		if adaptive {
-			routing = "adp"
-		}
+	for _, algName := range []string{"det", "adaptive"} {
+		short := shortAlg(algName)
 		for _, rate := range rates {
 			for _, nf := range nfs {
 				for s := 0; s < h.seeds; s++ {
 					c := h.base(8, 3, float64(rate)/10000.0)
 					c.V = 10
 					c.MsgLen = 32
-					c.Adaptive = adaptive
+					c.Algorithm = algName
 					c.Faults.RandomNodes = nf
 					c.Seed = uint64(2000 + s)
-					points = append(points, core.Point{Label: label(routing, rate, nf, s), Config: c})
+					points = append(points, core.Point{Label: label(short, rate, nf, s), Config: c})
 				}
 			}
 		}

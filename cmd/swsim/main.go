@@ -1,10 +1,12 @@
 // Command swsim runs one Software-Based routing simulation point and prints
-// a result row.
+// a result row. The routing algorithm is selected by registry name (-alg;
+// -list enumerates what is available).
 //
 // Examples:
 //
 //	swsim -k 8 -n 2 -v 4 -m 32 -lambda 0.006 -faults 3
-//	swsim -k 8 -n 3 -v 10 -m 32 -lambda 0.01 -faults 12 -adaptive
+//	swsim -k 8 -n 3 -v 10 -m 32 -lambda 0.01 -faults 12 -alg adaptive
+//	swsim -k 8 -n 2 -v 6 -m 32 -lambda 0.006 -pattern transpose -alg valiant
 //	swsim -k 8 -n 2 -v 10 -m 32 -lambda 0.012 -shape U -warmup 10000 -measure 90000
 package main
 
@@ -17,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/routing"
 )
 
 func main() {
@@ -27,7 +30,9 @@ func main() {
 		m        = flag.Int("m", 32, "message length in flits")
 		buf      = flag.Int("buf", 2, "per-VC buffer depth in flits")
 		lambda   = flag.Float64("lambda", 0.004, "generation rate (messages/node/cycle)")
-		adaptive = flag.Bool("adaptive", false, "use adaptive (Duato) base routing")
+		alg      = flag.String("alg", "det", "routing algorithm (see -list)")
+		adaptive = flag.Bool("adaptive", false, "deprecated: same as -alg adaptive")
+		list     = flag.Bool("list", false, "list registered routing algorithms and exit")
 		faults   = flag.Int("faults", 0, "random faulty nodes")
 		shape    = flag.String("shape", "", "fault region shape: rect|T|plus|L|U (Fig. 5 configurations)")
 		pattern  = flag.String("pattern", "uniform", "traffic pattern: uniform|transpose|hotspot")
@@ -41,11 +46,27 @@ func main() {
 	)
 	flag.Parse()
 
+	if *list {
+		for _, info := range routing.Algorithms() {
+			fmt.Printf("%-18s V>=%d  %s\n", info.Name, info.MinV, info.Description)
+		}
+		return
+	}
+
+	algName := *alg
+	if *adaptive {
+		if algExplicit() && algName != "adaptive" {
+			fmt.Fprintf(os.Stderr, "swsim: -adaptive conflicts with -alg %s\n", algName)
+			os.Exit(2)
+		}
+		algName = "adaptive"
+	}
+
 	cfg := core.DefaultConfig(*k, *n, *lambda)
 	cfg.V = *v
 	cfg.MsgLen = *m
 	cfg.BufDepth = *buf
-	cfg.Adaptive = *adaptive
+	cfg.Algorithm = algName
 	cfg.Pattern = *pattern
 	cfg.WarmupMessages = *warmup
 	cfg.MeasureMessages = *measure
@@ -85,18 +106,27 @@ func main() {
 	}
 
 	if !*quiet {
-		routing := "deterministic"
-		if *adaptive {
-			routing = "adaptive"
-		}
 		fmt.Printf("# %d-ary %d-cube, %s routing, V=%d, M=%d flits, λ=%g, faults=%d%s\n",
-			*k, *n, routing, *v, *m, *lambda, *faults, shapeNote(*shape))
+			*k, *n, algName, *v, *m, *lambda, *faults, shapeNote(*shape))
 		fmt.Printf("# wall time: %v, simulated cycles: %d\n", elapsed.Round(time.Millisecond), res.Cycles)
 		fmt.Println("lambda,mean_latency,ci95,p50,p95,p99,throughput,accepted,delivered,queued_fault,queued_via,saturated")
 	}
 	fmt.Printf("%g,%.2f,%.2f,%.0f,%.0f,%.0f,%.6f,%.4f,%d,%d,%d,%v\n",
 		*lambda, res.MeanLatency, res.LatencyCI95, res.P50, res.P95, res.P99,
 		res.Throughput, res.AcceptedFraction, res.Delivered, res.QueuedFault, res.QueuedVia, res.Saturated)
+}
+
+// algExplicit reports whether -alg was passed on the command line (as
+// opposed to holding its default), so the deprecated -adaptive flag can
+// refuse to silently override an explicit choice.
+func algExplicit() bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "alg" {
+			set = true
+		}
+	})
+	return set
 }
 
 func fig5Shape(name string) (fault.ShapeSpec, bool) {

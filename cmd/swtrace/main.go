@@ -4,7 +4,7 @@
 // Software-Based algorithm's behaviour around a specific fault pattern.
 //
 //	swtrace -k 8 -n 2 -faults 5 -seed 4 -src 0,0 -dst 5,5
-//	swtrace -k 8 -n 2 -shape U -src 0,3 -dst 4,3 -adaptive
+//	swtrace -k 8 -n 2 -shape U -src 0,3 -dst 4,3 -alg adaptive
 package main
 
 import (
@@ -36,7 +36,8 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "seed for fault placement")
 		srcFlag  = flag.String("src", "0,0", "source coordinates, comma-separated")
 		dstFlag  = flag.String("dst", "", "destination coordinates (required)")
-		adaptive = flag.Bool("adaptive", false, "adaptive (Duato) base routing")
+		algFlag  = flag.String("alg", "det", "routing algorithm from the registry")
+		adaptive = flag.Bool("adaptive", false, "deprecated: same as -alg adaptive")
 	)
 	flag.Parse()
 
@@ -74,17 +75,24 @@ func main() {
 		fatal(fmt.Errorf("source or destination is faulty"))
 	}
 
-	var alg *routing.Algorithm
-	mode := message.Deterministic
+	algName := *algFlag
 	if *adaptive {
-		alg, err = routing.NewAdaptive(t, fs, *v)
-		mode = message.Adaptive
-	} else {
-		alg, err = routing.NewDeterministic(t, fs, *v)
+		algSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "alg" {
+				algSet = true
+			}
+		})
+		if algSet && algName != "adaptive" {
+			fatal(fmt.Errorf("-adaptive conflicts with -alg %s", algName))
+		}
+		algName = "adaptive"
 	}
+	alg, err := routing.New(algName, t, fs, *v)
 	if err != nil {
 		fatal(err)
 	}
+	mode := alg.BaseMode()
 
 	if *n == 2 {
 		fmt.Print(viz.RenderPlane(fs, 0, 0, 1))

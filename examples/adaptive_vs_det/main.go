@@ -20,10 +20,10 @@ func main() {
 	fmt.Printf("%-6s %14s %14s\n", "nf", "deterministic", "adaptive")
 	for nf := 0; nf <= 10; nf += 2 {
 		var thr [2]float64
-		for i, adaptive := range []bool{false, true} {
+		for i, alg := range []string{"det", "adaptive"} {
 			cfg := core.DefaultConfig(16, 2, lambda)
 			cfg.V = 6
-			cfg.Adaptive = adaptive
+			cfg.Algorithm = alg
 			cfg.WarmupMessages = 500
 			cfg.MeasureMessages = 4000
 			cfg.Faults.RandomNodes = nf

@@ -26,10 +26,10 @@ func main() {
 	}
 	fmt.Println("SW-Based-nD under ~5% node failures, uniform traffic, V=6, M=32:")
 	for _, tc := range cases {
-		for _, adaptive := range []bool{false, true} {
+		for _, alg := range []string{"det", "adaptive"} {
 			cfg := core.DefaultConfig(tc.k, tc.n, tc.lambda)
 			cfg.V = 6
-			cfg.Adaptive = adaptive
+			cfg.Algorithm = alg
 			cfg.WarmupMessages = 500
 			cfg.MeasureMessages = 5000
 			cfg.Faults.RandomNodes = tc.nf
@@ -39,7 +39,7 @@ func main() {
 				log.Fatal(err)
 			}
 			mode := "det"
-			if adaptive {
+			if alg == "adaptive" {
 				mode = "adp"
 			}
 			fmt.Printf("  %d-ary %d-cube (%3d nodes, nf=%2d) %s: latency %6.1f  delivered %d/%d  dropped %d\n",

@@ -37,11 +37,11 @@ func main() {
 		fmt.Printf("\n%s (%s, nf=%d)\n%s", name, kind, nf, viz.RenderPlane(fs, 0, 0, 1))
 
 		// Simulate both routing modes against it.
-		for _, adaptive := range []bool{false, true} {
+		for _, alg := range []string{"det", "adaptive"} {
 			cfg := core.DefaultConfig(8, 2, lambda)
 			cfg.V = 10
 			cfg.MsgLen = 32
-			cfg.Adaptive = adaptive
+			cfg.Algorithm = alg
 			cfg.WarmupMessages = 500
 			cfg.MeasureMessages = 5000
 			cfg.Faults.Shapes = []core.ShapeStamp{{Spec: spec, DimA: 0, DimB: 1}}
@@ -50,7 +50,7 @@ func main() {
 				log.Fatal(err)
 			}
 			mode := "deterministic"
-			if adaptive {
+			if alg == "adaptive" {
 				mode = "adaptive"
 			}
 			fmt.Printf("  %-14s latency %6.1f cycles, %5d absorptions, %4d via stops\n",

@@ -40,6 +40,7 @@ func main() {
 		cfg := core.DefaultConfig(k, n, l)
 		cfg.V = v
 		cfg.MsgLen = m
+		cfg.Algorithm = "det" // the analytic model covers deterministic SW-Based routing
 		cfg.Faults.RandomNodes = nf
 		cfg.WarmupMessages = 300
 		cfg.MeasureMessages = 4000

@@ -1,5 +1,6 @@
 // Quickstart: simulate Software-Based fault-tolerant routing on an 8-ary
-// 2-cube with three random node faults and print the headline metrics.
+// 2-cube with three random node faults and print the headline metrics for
+// every algorithm in the routing registry.
 //
 //	go run ./examples/quickstart
 package main
@@ -9,6 +10,7 @@ import (
 	"log"
 
 	"repro/internal/core"
+	"repro/internal/routing"
 )
 
 func main() {
@@ -19,19 +21,15 @@ func main() {
 	cfg.Faults.RandomNodes = 3 // random failed nodes (network stays connected)
 	cfg.Seed = 42
 
-	for _, adaptive := range []bool{false, true} {
-		cfg.Adaptive = adaptive
+	for _, info := range routing.Algorithms() {
+		cfg.Algorithm = info.Name
 		res, err := core.Run(cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
-		name := "deterministic (e-cube base)"
-		if adaptive {
-			name = "adaptive (Duato base)"
-		}
-		fmt.Printf("%-30s mean latency %6.1f cycles  p99 %5.0f  throughput %.5f msg/node/cycle\n",
-			name, res.MeanLatency, res.P99, res.Throughput)
-		fmt.Printf("%-30s absorbed %d times, %d via stops, %d messages delivered\n",
+		fmt.Printf("%-18s mean latency %6.1f cycles  p99 %5.0f  throughput %.5f msg/node/cycle\n",
+			info.Name, res.MeanLatency, res.P99, res.Throughput)
+		fmt.Printf("%-18s absorbed %d times, %d via stops, %d messages delivered\n",
 			"", res.QueuedFault, res.QueuedVia, res.Delivered)
 	}
 }

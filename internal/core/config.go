@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"repro/internal/fault"
+	"repro/internal/routing"
 	"repro/internal/topology"
 )
 
@@ -57,8 +58,13 @@ type Config struct {
 	// Lambda is the per-node Poisson generation rate in
 	// messages/node/cycle.
 	Lambda float64
+	// Algorithm names the routing algorithm in the routing registry
+	// ("det", "adaptive", "valiant", ...; see routing.Names). Empty defers
+	// to the legacy Adaptive flag.
+	Algorithm string
 	// Adaptive selects Duato-based adaptive SW-Based routing; false is the
-	// deterministic (e-cube) base.
+	// deterministic (e-cube) base. Deprecated: set Algorithm instead; the
+	// flag is honoured only when Algorithm is empty.
 	Adaptive bool
 	// Pattern names the destination pattern: "uniform" (paper), or
 	// "transpose"/"hotspot" for the extended experiments.
@@ -91,6 +97,10 @@ type Config struct {
 	// the paper's assumption (g)); CreditDelay the credit return time
 	// (default 1). Ablation knobs for wire-dominated designs.
 	LinkLatency, CreditDelay int64
+	// DenseScan disables the engine's active-set scheduler and visits
+	// every router every cycle. Benchmark/ablation knob: results are
+	// bit-identical either way, only wall-clock cost differs.
+	DenseScan bool
 	// Seed makes the run reproducible.
 	Seed uint64
 }
@@ -114,17 +124,33 @@ func DefaultConfig(k, n int, lambda float64) Config {
 	}
 }
 
+// AlgorithmName resolves the routing-algorithm registry key for this
+// config: the explicit Algorithm field when set, else the legacy Adaptive
+// flag's "adaptive"/"det".
+func (c Config) AlgorithmName() string {
+	if c.Algorithm != "" {
+		return c.Algorithm
+	}
+	if c.Adaptive {
+		return "adaptive"
+	}
+	return "det"
+}
+
 // Validate checks the configuration for consistency.
 func (c Config) Validate() error {
+	name := c.AlgorithmName()
+	info, ok := routing.Lookup(name)
+	if !ok {
+		return fmt.Errorf("core: unknown routing algorithm %q (registered: %v)", name, routing.Names())
+	}
 	switch {
 	case c.K < 2:
 		return fmt.Errorf("core: radix K must be >= 2, got %d", c.K)
 	case c.N < 1:
 		return fmt.Errorf("core: dimension N must be >= 1, got %d", c.N)
-	case !c.Adaptive && c.V < 2:
-		return fmt.Errorf("core: deterministic routing needs V >= 2, got %d", c.V)
-	case c.Adaptive && c.V < 3:
-		return fmt.Errorf("core: adaptive routing needs V >= 3, got %d", c.V)
+	case c.V < info.MinV:
+		return fmt.Errorf("core: algorithm %q needs V >= %d, got %d", name, info.MinV, c.V)
 	case c.BufDepth < 1:
 		return fmt.Errorf("core: BufDepth must be >= 1, got %d", c.BufDepth)
 	case c.MsgLen < 1:

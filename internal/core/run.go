@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/fault"
-	"repro/internal/message"
 	"repro/internal/metrics"
 	"repro/internal/network"
 	"repro/internal/rng"
@@ -74,19 +73,15 @@ func Run(c Config) (metrics.Results, error) {
 	if err != nil {
 		return metrics.Results{}, err
 	}
-	var alg *routing.Algorithm
-	mode := message.Deterministic
-	if c.Adaptive {
-		alg, err = routing.NewAdaptive(t, fs, c.V)
-		mode = message.Adaptive
-	} else {
-		alg, err = routing.NewDeterministic(t, fs, c.V)
-	}
+	alg, err := routing.New(c.AlgorithmName(), t, fs, c.V)
 	if err != nil {
 		return metrics.Results{}, err
 	}
+	mode := alg.BaseMode()
 	if c.Escalation > 0 {
-		alg.SetEscalation(c.Escalation)
+		if es, ok := alg.(routing.EscalationSetter); ok {
+			es.SetEscalation(c.Escalation)
+		}
 	}
 	pattern, err := buildPattern(c, t, fs)
 	if err != nil {
@@ -104,6 +99,7 @@ func Run(c Config) (metrics.Results, error) {
 		NoReinjectPriority: c.NoReinjectPriority,
 		LinkLatency:        c.LinkLatency,
 		CreditDelay:        c.CreditDelay,
+		DenseScan:          c.DenseScan,
 	}
 	nw := network.New(t, fs, alg, gen, col, params, r.Split(2))
 

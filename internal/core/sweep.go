@@ -1,7 +1,9 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"repro/internal/metrics"
@@ -26,19 +28,28 @@ type PointResult struct {
 // RunSweep executes every point, fanning out over a worker pool. Each
 // engine instance is single-goroutine and deterministic, so results are
 // identical to serial execution regardless of worker count. workers <= 0
-// uses GOMAXPROCS.
+// uses GOMAXPROCS. A point that panics is reported through its
+// PointResult.Err; it never takes down the pool or the other points.
 func RunSweep(points []Point, workers int) []PointResult {
+	return runSweep(points, workers, Run)
+}
+
+// runSweep is RunSweep with the per-point runner injected for testing.
+func runSweep(points []Point, workers int, run func(Config) (metrics.Results, error)) []PointResult {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > len(points) {
 		workers = len(points)
 	}
+	exec := func(i int) PointResult {
+		res, err := runPointSafe(points[i].Config, run)
+		return PointResult{Point: points[i], Results: res, Err: err}
+	}
 	results := make([]PointResult, len(points))
 	if workers <= 1 {
-		for i, p := range points {
-			res, err := Run(p.Config)
-			results[i] = PointResult{Point: p, Results: res, Err: err}
+		for i := range points {
+			results[i] = exec(i)
 		}
 		return results
 	}
@@ -49,8 +60,7 @@ func RunSweep(points []Point, workers int) []PointResult {
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				res, err := Run(points[i].Config)
-				results[i] = PointResult{Point: points[i], Results: res, Err: err}
+				results[i] = exec(i)
 			}
 		}()
 	}
@@ -60,4 +70,15 @@ func RunSweep(points []Point, workers int) []PointResult {
 	close(work)
 	wg.Wait()
 	return results
+}
+
+// runPointSafe converts a panicking point into an error so one bad
+// configuration cannot crash a whole sweep.
+func runPointSafe(c Config, run func(Config) (metrics.Results, error)) (res metrics.Results, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: sweep point panicked: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return run(c)
 }

@@ -103,6 +103,11 @@ type Header struct {
 	// virtual-channel class. Reset on re-injection (a re-injected message
 	// is a fresh worm).
 	Crossed []bool
+	// Detoured marks headers that have been given their load-balancing
+	// intermediate destination (set once by two-phase algorithms such as
+	// valiant); it survives via pops and re-injection so the detour is
+	// never re-installed.
+	Detoured bool
 }
 
 // StopReason records why a worm is being ejected at its current node; it is

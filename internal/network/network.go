@@ -15,6 +15,7 @@ package network
 
 import (
 	"fmt"
+	"slices"
 
 	"repro/internal/fault"
 	"repro/internal/message"
@@ -57,6 +58,10 @@ type Params struct {
 	// Default 1 (visible the next cycle); larger values model pipelined
 	// credit return paths.
 	CreditDelay int64
+	// DenseScan disables the active-set scheduler and visits every router
+	// every cycle, as the engine originally did. Ablation/benchmark knob:
+	// results are bit-identical either way, only Step cost differs.
+	DenseScan bool
 }
 
 // DefaultParams returns the paper's configuration: Td = 0, Δ = 0,
@@ -102,7 +107,7 @@ type stream struct {
 type Network struct {
 	t   *topology.Torus
 	f   *fault.Set
-	alg *routing.Algorithm
+	alg routing.Router
 	p   Params
 
 	routers []*router.Router
@@ -126,6 +131,19 @@ type Network struct {
 	injArrivals []arrivalEvent
 	credits     []creditEvent
 
+	// Active-set scheduler state: the engine visits only routers that can
+	// make progress this cycle instead of dense-scanning every node.
+	// work is the sorted worklist processed by the per-cycle phases;
+	// pending collects routers activated by events (generated traffic,
+	// flit arrivals, re-injections) since the last cycle started; active
+	// flags membership in either. A router leaves the worklist when it is
+	// fully drained: no buffered flits, no queued messages, no streams.
+	// With Params.DenseScan the worklist is pinned to every node.
+	active  []bool
+	work    []topology.NodeID
+	pending []topology.NodeID
+	allIDs  []topology.NodeID
+
 	now       int64
 	inFlight  int // worms injected (streaming or in-network) not yet completed
 	generated uint64
@@ -136,7 +154,7 @@ type Network struct {
 
 // New builds an engine. alg must be bound to the same topology and fault
 // set.
-func New(t *topology.Torus, f *fault.Set, alg *routing.Algorithm, gen *traffic.Generator, col *metrics.Collector, p Params, r *rng.Stream) *Network {
+func New(t *topology.Torus, f *fault.Set, alg routing.Router, gen *traffic.Generator, col *metrics.Collector, p Params, r *rng.Stream) *Network {
 	if p.V != alg.V() {
 		panic(fmt.Sprintf("network: params V=%d but algorithm V=%d", p.V, alg.V()))
 	}
@@ -157,11 +175,67 @@ func New(t *topology.Torus, f *fault.Set, alg *routing.Algorithm, gen *traffic.G
 		reQ:     make([][]pendingMsg, t.Nodes()),
 		streams: make([][]stream, t.Nodes()),
 		rrInj:   make([]int, t.Nodes()),
+		active:  make([]bool, t.Nodes()),
 	}
 	for id := 0; id < t.Nodes(); id++ {
 		n.routers[id] = router.New(topology.NodeID(id), t.N(), p.V, p.BufDepth)
 	}
+	if p.DenseScan {
+		n.allIDs = make([]topology.NodeID, t.Nodes())
+		for id := range n.allIDs {
+			n.allIDs[id] = topology.NodeID(id)
+		}
+		n.work = n.allIDs
+	}
 	return n
+}
+
+// markActive schedules a router for the next cycle's worklist. Safe to
+// call redundantly; membership is deduplicated by the active flags.
+func (nw *Network) markActive(id topology.NodeID) {
+	if nw.p.DenseScan || nw.active[id] {
+		return
+	}
+	nw.active[id] = true
+	nw.pending = append(nw.pending, id)
+}
+
+// beginCycle merges newly activated routers into the worklist, keeping it
+// sorted by node id so the phases visit routers in the same ascending
+// order as a dense scan — that ordering is what makes the scheduler
+// rng-transparent (bit-exact traces for a fixed seed).
+func (nw *Network) beginCycle() {
+	if nw.p.DenseScan || len(nw.pending) == 0 {
+		return
+	}
+	nw.work = append(nw.work, nw.pending...)
+	nw.pending = nw.pending[:0]
+	slices.Sort(nw.work)
+}
+
+// endCycle retires drained routers from the worklist. A router stays
+// active while anything local can still make progress: buffered flits,
+// queued software messages (fresh or re-injection), or injection streams.
+// Everything else re-enters via markActive when an event touches it.
+func (nw *Network) endCycle() {
+	if nw.p.DenseScan {
+		return
+	}
+	keep := nw.work[:0]
+	for _, id := range nw.work {
+		if nw.routerBusy(id) {
+			keep = append(keep, id)
+		} else {
+			nw.active[id] = false
+		}
+	}
+	nw.work = keep
+}
+
+// routerBusy reports whether the router still has locally visible work.
+func (nw *Network) routerBusy(id topology.NodeID) bool {
+	return nw.routers[id].Flits > 0 ||
+		len(nw.newQ[id]) > 0 || len(nw.reQ[id]) > 0 || len(nw.streams[id]) > 0
 }
 
 // Now returns the current cycle.
@@ -195,6 +269,7 @@ func (nw *Network) Enqueue(node topology.NodeID, m *message.Message) {
 		panic(fmt.Sprintf("network: enqueue at faulty node %d", node))
 	}
 	nw.newQ[node] = append(nw.newQ[node], m)
+	nw.markActive(node)
 }
 
 // Idle reports whether the network is completely drained: no buffered
@@ -216,10 +291,12 @@ func (nw *Network) Idle() bool {
 func (nw *Network) Step() {
 	nw.now++
 	nw.pollTraffic()
+	nw.beginCycle()
 	nw.routeAndAllocate()
 	nw.switchTraversal()
 	nw.inject()
 	nw.applyStaged()
+	nw.endCycle()
 }
 
 // pollTraffic pulls newly generated messages into source queues.
@@ -231,6 +308,7 @@ func (nw *Network) pollTraffic() {
 		nw.col.Generated(m)
 		nw.generated++
 		nw.newQ[m.Src] = append(nw.newQ[m.Src], m)
+		nw.markActive(m.Src)
 	}
 }
 
@@ -238,12 +316,11 @@ func (nw *Network) pollTraffic() {
 // every head flit parked at the front of an input VC.
 func (nw *Network) routeAndAllocate() {
 	var free []routing.CandidateVC // scratch, reused across VCs
-	for id := 0; id < len(nw.routers); id++ {
-		rt := nw.routers[id]
+	for _, node := range nw.work {
+		rt := nw.routers[node]
 		if rt.Flits == 0 {
 			continue
 		}
-		node := topology.NodeID(id)
 		for port := range rt.In {
 			for vc := range rt.In[port] {
 				ivc := &rt.In[port][vc]
@@ -314,12 +391,11 @@ func (nw *Network) switchTraversal() {
 	type req struct{ port, vc int }
 	// Scratch buckets per output port, reused across routers.
 	buckets := make([][]req, degree)
-	for id := 0; id < len(nw.routers); id++ {
-		rt := nw.routers[id]
+	for _, node := range nw.work {
+		rt := nw.routers[node]
 		if rt.Flits == 0 {
 			continue
 		}
-		node := topology.NodeID(id)
 		for i := range buckets {
 			buckets[i] = buckets[i][:0]
 		}
@@ -465,19 +541,18 @@ func (nw *Network) returnCredit(node topology.NodeID, port, vc int) {
 // injection input port, starting new streams as injection VCs free up.
 // Re-injected (absorbed) messages always start before new messages.
 func (nw *Network) inject() {
-	for id := 0; id < len(nw.routers); id++ {
-		node := topology.NodeID(id)
+	for _, node := range nw.work {
 		nw.startStreams(node)
-		ss := nw.streams[id]
+		ss := nw.streams[node]
 		if len(ss) == 0 {
 			continue
 		}
-		rt := nw.routers[id]
+		rt := nw.routers[node]
 		injPort := rt.InjectionPort()
 		// Round-robin across active streams for the single injection
 		// channel's flit slot.
 		n := len(ss)
-		start := nw.rrInj[id] % n
+		start := nw.rrInj[node] % n
 		for i := 0; i < n; i++ {
 			s := &ss[(start+i)%n]
 			ivc := &rt.In[injPort][s.vc]
@@ -490,11 +565,11 @@ func (nw *Network) inject() {
 			})
 			// Reserve the slot so a same-cycle arrival cannot overflow.
 			s.seq++
-			nw.rrInj[id] = (start + i + 1) % n
+			nw.rrInj[node] = (start + i + 1) % n
 			if s.seq == s.m.Len {
 				// Stream complete; remove, preserving order.
 				idx := (start + i) % n
-				nw.streams[id] = append(ss[:idx], ss[idx+1:]...)
+				nw.streams[node] = append(ss[:idx], ss[idx+1:]...)
 			}
 			break
 		}
@@ -643,6 +718,7 @@ func (nw *Network) applyStaged() {
 func (nw *Network) applyArrival(a arrivalEvent) {
 	rt := nw.routers[a.node]
 	rt.Push(a.port, a.vc, a.flit)
+	nw.markActive(a.node)
 	if a.flit.IsHead() {
 		ivc := &rt.In[a.port][a.vc]
 		if ivc.Buf.Len() == 1 { // became front: routing decision earliest next cycle

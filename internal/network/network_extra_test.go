@@ -75,7 +75,7 @@ func TestRouterDecisionTimeTd(t *testing.T) {
 		dst := tor.FromCoords([]int{4, 0})
 		m := message.New(0, src, dst, 8, 2, message.Deterministic, 0)
 		col.Generated(m)
-		nw.newQ[src] = append(nw.newQ[src], m)
+		nw.Enqueue(src, m)
 		for m.DeliveredAt < 0 && nw.Now() < 5000 {
 			nw.Step()
 		}

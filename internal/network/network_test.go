@@ -89,7 +89,7 @@ func TestSingleMessageLatency(t *testing.T) {
 	const M = 16
 	m := message.New(0, src, dst, M, 2, message.Deterministic, 0)
 	col.Generated(m)
-	nw.newQ[src] = append(nw.newQ[src], m)
+	nw.Enqueue(src, m)
 	for m.DeliveredAt < 0 && nw.Now() < 1000 {
 		nw.Step()
 	}
@@ -286,7 +286,7 @@ func TestReinjectionDelayDelta(t *testing.T) {
 		dst := tor.FromCoords([]int{4, 0})
 		m := message.New(0, src, dst, 8, 2, message.Deterministic, 0)
 		col.Generated(m)
-		nw.newQ[src] = append(nw.newQ[src], m)
+		nw.Enqueue(src, m)
 		for m.DeliveredAt < 0 && nw.Now() < 10_000 {
 			nw.Step()
 		}

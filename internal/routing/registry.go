@@ -1,0 +1,171 @@
+package routing
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/fault"
+	"repro/internal/message"
+	"repro/internal/topology"
+)
+
+// Router is the pluggable routing-algorithm interface. Everything the
+// engine, the walker, and the sweep façade need from an algorithm goes
+// through it, so new algorithms plug in by registration alone:
+//
+//   - Route is the per-hop router-hardware decision for a head flit;
+//   - Plan is the messaging-layer rewrite after a fault absorption;
+//   - Name/V identify the configured instance in reports;
+//   - BaseMode is the message-header routing discipline injected worms
+//     start in (it parameterises the traffic generator);
+//   - Topology/Faults expose the bound network for analysis tools.
+//
+// Implementations must be stateless with respect to messages (all
+// per-message state lives in the header) so a single-threaded engine and
+// the exhaustive walkers can share one instance.
+type Router interface {
+	Route(cur topology.NodeID, m *message.Message) Decision
+	Plan(cur topology.NodeID, m *message.Message, blockedDim int, blockedDir topology.Dir) bool
+	Name() string
+	V() int
+	BaseMode() message.Mode
+	Topology() *topology.Torus
+	Faults() *fault.Set
+}
+
+// EscalationSetter is an optional capability: algorithms built on the
+// Software-Based planner expose the heuristic-phase bound as an ablation
+// knob (see Planner.escalateAfter).
+type EscalationSetter interface {
+	SetEscalation(n int)
+}
+
+// Factory builds a configured Router bound to one topology, fault set and
+// virtual-channel count. Factories validate v themselves (and anything
+// else they need) so New surfaces per-algorithm errors directly.
+type Factory func(t *topology.Torus, f *fault.Set, v int) (Router, error)
+
+// Info describes a registered algorithm for listings and validation.
+type Info struct {
+	// Name is the primary registry key.
+	Name string
+	// MinV is the smallest legal virtual-channel count.
+	MinV int
+	// Description is a one-line summary for -list style output.
+	Description string
+	// Aliases are additional keys resolving to the same factory.
+	Aliases []string
+}
+
+type regEntry struct {
+	info    Info
+	factory Factory
+}
+
+var (
+	regMu      sync.RWMutex
+	registry   = make(map[string]*regEntry) // primary name and aliases -> entry
+	regPrimary []string                     // primary names, registration order
+)
+
+// Register adds an algorithm to the registry under info.Name and every
+// alias. It panics on a duplicate key or a nil factory — registration
+// happens in package init functions where a panic is a build-time bug.
+func Register(info Info, factory Factory) {
+	if info.Name == "" {
+		panic("routing: Register with empty name")
+	}
+	if factory == nil {
+		panic(fmt.Sprintf("routing: Register(%q) with nil factory", info.Name))
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	e := &regEntry{info: info, factory: factory}
+	for _, key := range append([]string{info.Name}, info.Aliases...) {
+		if _, dup := registry[key]; dup {
+			panic(fmt.Sprintf("routing: duplicate registration of algorithm %q", key))
+		}
+		registry[key] = e
+	}
+	regPrimary = append(regPrimary, info.Name)
+}
+
+// New builds the registered algorithm called name (primary or alias) over
+// the given topology, fault set and virtual-channel count. Unknown names
+// report the available set.
+func New(name string, t *topology.Torus, f *fault.Set, v int) (Router, error) {
+	regMu.RLock()
+	e, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("routing: unknown algorithm %q (registered: %v)", name, Names())
+	}
+	return e.factory(t, f, v)
+}
+
+// Lookup returns the Info for a registered name (primary or alias).
+func Lookup(name string) (Info, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	e, ok := registry[name]
+	if !ok {
+		return Info{}, false
+	}
+	return e.info, true
+}
+
+// Names returns the primary registered algorithm names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := append([]string(nil), regPrimary...)
+	sort.Strings(out)
+	return out
+}
+
+// Algorithms returns the Info of every registered algorithm, sorted by
+// primary name.
+func Algorithms() []Info {
+	regMu.RLock()
+	out := make([]Info, 0, len(regPrimary))
+	for _, name := range regPrimary {
+		out = append(out, registry[name].info)
+	}
+	regMu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func init() {
+	Register(Info{
+		Name:        "det",
+		MinV:        2,
+		Description: "SW-Based-nD over dimension-order (e-cube) deterministic routing",
+		Aliases:     []string{"deterministic", "sw-based-deterministic"},
+	}, func(t *topology.Torus, f *fault.Set, v int) (Router, error) {
+		return NewDeterministic(t, f, v)
+	})
+	Register(Info{
+		Name:        "adaptive",
+		MinV:        3,
+		Description: "SW-Based-nD over Duato-protocol fully adaptive routing",
+		Aliases:     []string{"duato", "sw-based-adaptive"},
+	}, func(t *topology.Torus, f *fault.Set, v int) (Router, error) {
+		return NewAdaptive(t, f, v)
+	})
+	Register(Info{
+		Name:        "valiant",
+		MinV:        2,
+		Description: "Valiant two-phase load balancing over deterministic SW-Based routing",
+	}, func(t *topology.Torus, f *fault.Set, v int) (Router, error) {
+		return NewValiant(t, f, v, false)
+	})
+	Register(Info{
+		Name:        "valiant-adaptive",
+		MinV:        3,
+		Description: "Valiant two-phase load balancing over adaptive SW-Based routing",
+	}, func(t *topology.Torus, f *fault.Set, v int) (Router, error) {
+		return NewValiant(t, f, v, true)
+	})
+}

@@ -141,6 +141,14 @@ func (a *Algorithm) Name() string {
 // Adaptive reports whether the base routing is Duato fully adaptive.
 func (a *Algorithm) Adaptive() bool { return a.adaptive }
 
+// BaseMode returns the header mode injected messages start in.
+func (a *Algorithm) BaseMode() message.Mode {
+	if a.adaptive {
+		return message.Adaptive
+	}
+	return message.Deterministic
+}
+
 // V returns the configured virtual channel count per physical channel.
 func (a *Algorithm) V() int { return a.v }
 

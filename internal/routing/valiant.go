@@ -1,0 +1,86 @@
+package routing
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/message"
+	"repro/internal/topology"
+)
+
+// Valiant is Valiant's two-phase randomized routing realised on top of the
+// Software-Based machinery: every message first routes to a healthy
+// intermediate node chosen pseudo-randomly from its ID, then on to its
+// destination. The intermediate is installed as an ordinary via stop, so
+// both phases are plain SW-Based worms — the deadlock and delivery
+// arguments of the base algorithm carry over unchanged, and the fault
+// planner still handles any absorption in either phase.
+//
+// The point of the algorithm is load balancing: adversarial patterns
+// (transpose, hotspot) that saturate minimal routing early are spread over
+// the whole network at the cost of roughly doubling the fault-free path
+// length. It is the classic baseline the ROADMAP's scenario-diversity goal
+// calls for, and it exercises the registry seam with an algorithm whose
+// header behaviour differs from both seed variants.
+type Valiant struct {
+	*Algorithm
+	healthy []topology.NodeID
+}
+
+// NewValiant builds Valiant two-phase routing over the deterministic
+// (adaptiveBase false, V >= 2) or Duato adaptive (adaptiveBase true,
+// V >= 3) SW-Based base.
+func NewValiant(t *topology.Torus, f *fault.Set, v int, adaptiveBase bool) (*Valiant, error) {
+	var base *Algorithm
+	var err error
+	if adaptiveBase {
+		base, err = NewAdaptive(t, f, v)
+	} else {
+		base, err = NewDeterministic(t, f, v)
+	}
+	if err != nil {
+		return nil, err
+	}
+	healthy := f.HealthyNodes()
+	if len(healthy) == 0 {
+		return nil, fmt.Errorf("routing: valiant needs at least one healthy node")
+	}
+	return &Valiant{Algorithm: base, healthy: healthy}, nil
+}
+
+// Name identifies the algorithm in reports.
+func (va *Valiant) Name() string {
+	if va.Adaptive() {
+		return "valiant-adaptive"
+	}
+	return "valiant"
+}
+
+// Route installs the random intermediate destination the first time the
+// header is routed (which happens at the source, before injection), then
+// defers to the base algorithm. The Detoured flag keeps the detour from
+// being re-installed when a later path segment happens to pass back
+// through the source.
+func (va *Valiant) Route(cur topology.NodeID, m *message.Message) Decision {
+	if !m.Detoured {
+		m.Detoured = true
+		if w := va.intermediate(m); w != cur && w != m.Dst {
+			m.PushVia(w)
+		}
+	}
+	return va.Algorithm.Route(cur, m)
+}
+
+// intermediate picks the message's random intermediate node: a splitmix64
+// hash of the message ID over the healthy nodes. Hashing (rather than
+// drawing from a stream) keeps the algorithm stateless and the choice
+// reproducible regardless of routing order.
+func (va *Valiant) intermediate(m *message.Message) topology.NodeID {
+	x := m.ID + 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return va.healthy[x%uint64(len(va.healthy))]
+}

@@ -27,7 +27,7 @@ type WalkResult struct {
 // software stops run the planner exactly as the engine's messaging layer
 // does. It is the algorithm-level executable semantics used by the
 // livelock analysis and the test suite.
-func Walk(a *Algorithm, m *message.Message, maxSteps int) WalkResult {
+func Walk(a Router, m *message.Message, maxSteps int) WalkResult {
 	var res WalkResult
 	cur := m.Src
 	t := a.Topology()
@@ -87,16 +87,13 @@ type LivelockReport struct {
 // AnalyzeLivelock walks every healthy ordered pair of the algorithm's
 // network. msgLen only affects header construction, not the walk. maxSteps
 // bounds each walk; 0 derives a generous budget from the network size.
-func AnalyzeLivelock(a *Algorithm, msgLen, maxSteps int) LivelockReport {
+func AnalyzeLivelock(a Router, msgLen, maxSteps int) LivelockReport {
 	t := a.Topology()
 	f := a.Faults()
 	if maxSteps <= 0 {
 		maxSteps = 40 * t.Nodes()
 	}
-	mode := message.Deterministic
-	if a.Adaptive() {
-		mode = message.Adaptive
-	}
+	mode := a.BaseMode()
 	var rep LivelockReport
 	var totStops, totHops int
 	id := uint64(0)

@@ -7,6 +7,7 @@ package trace
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/topology"
@@ -89,6 +90,22 @@ func (r *Recorder) Events(msg uint64) []Event { return r.byMsg[msg] }
 
 // Messages returns the number of distinct traced messages.
 func (r *Recorder) Messages() int { return len(r.byMsg) }
+
+// All returns every event, grouped by message in ascending message-ID
+// order (within a message, arrival order). The ordering is deterministic,
+// which makes All suitable for whole-run equivalence assertions.
+func (r *Recorder) All() []Event {
+	ids := make([]uint64, 0, len(r.byMsg))
+	for id := range r.byMsg {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]Event, 0, r.count)
+	for _, id := range ids {
+		out = append(out, r.byMsg[id]...)
+	}
+	return out
+}
 
 // Count returns the total number of events.
 func (r *Recorder) Count() int { return r.count }
