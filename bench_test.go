@@ -11,7 +11,10 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/message"
+	"repro/internal/rng"
 	"repro/internal/topology"
+	"repro/internal/traffic"
 )
 
 // benchConfig is the shared reduced measurement protocol for benchmark
@@ -196,3 +199,32 @@ func stepBench(b *testing.B, dense bool) {
 
 func BenchmarkStepActiveSet(b *testing.B) { stepBench(b, false) }
 func BenchmarkStepDenseScan(b *testing.B) { stepBench(b, true) }
+
+// Source-poll benchmarks: cost of the traffic layer alone — one Poll per
+// cycle on a 16-ary 2-cube (256 nodes) at λ = 0.01, no engine attached.
+// Poisson is the event-heap baseline; burst adds the MMPP phase-process
+// bookkeeping on top of the same chassis at equal offered load.
+
+func sourceBench(b *testing.B, spec string) {
+	tor := topology.New(16, 2)
+	fs := fault.NewSet(tor)
+	src, err := traffic.NewSource(spec, traffic.Env{
+		T: tor, F: fs, Sources: fs.HealthyNodes(),
+		Lambda: 0.01, MsgLen: 32, Mode: message.Deterministic,
+		Pattern: traffic.NewUniform(fs), R: rng.New(1),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var total int
+	for now := int64(1); now <= int64(b.N); now++ {
+		total += len(src.Poll(now))
+	}
+	b.ReportMetric(float64(total)/float64(b.N)*1e3, "msgs/kcycle")
+}
+
+func BenchmarkSourcePoll(b *testing.B) {
+	b.Run("poisson", func(b *testing.B) { sourceBench(b, "poisson") })
+	b.Run("burst", func(b *testing.B) { sourceBench(b, "burst:on=50,off=200") })
+}

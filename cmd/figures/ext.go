@@ -16,6 +16,7 @@ func (h *harness) figExt() {
 	fmt.Println("\n===== Extended experiments (sizes and patterns beyond the plotted figures) =====")
 	h.extSizes()
 	h.extPatterns()
+	h.extSources()
 }
 
 func (h *harness) extSizes() {
@@ -74,7 +75,7 @@ func (h *harness) extSizes() {
 // transpose and hotspot are where Valiant's two-phase load balancing is
 // designed to pay off.
 func (h *harness) extPatterns() {
-	patterns := []string{"uniform", "transpose", "hotspot"}
+	patterns := []string{"uniform", "transpose", "hotspot:frac=0.1"}
 	algs := []string{"det", "adaptive", "valiant", "valiant-adaptive"}
 	grid := []float64{0.002, 0.004, 0.006}
 	var points []core.Point
@@ -114,5 +115,53 @@ func (h *harness) extPatterns() {
 		func(ri, ci int) string {
 			cu := curves[ci]
 			return latencyCell(res[label(cu.p, cu.alg, grid[ri])])
+		})
+}
+
+// extSources compares arrival processes at equal offered load: smooth
+// deterministic intervals, the paper's Poisson baseline, and MMPP on/off
+// bursts whose ON rate is scaled so the long-run rate still equals λ. The
+// spread between the three columns at a fixed λ is pure burstiness cost.
+func (h *harness) extSources() {
+	sources := []string{"interval", "poisson", "burst:on=50,off=200"}
+	algs := []string{"det", "adaptive"}
+	grid := []float64{0.002, 0.004, 0.006}
+	var points []core.Point
+	label := func(s, alg string, l float64) string {
+		return fmt.Sprintf("%s|%s|l%g", s, alg, l)
+	}
+	for _, s := range sources {
+		for _, alg := range algs {
+			for _, l := range grid {
+				cfg := h.base(8, 2, l)
+				cfg.V = 6
+				cfg.Algorithm = alg
+				cfg.Traffic = s
+				cfg.Faults.RandomNodes = 4
+				cfg.Seed = 1003
+				points = append(points, core.Point{Label: label(s, alg, l), Config: cfg})
+			}
+		}
+	}
+	res := h.run(points)
+	var cols []string
+	type curve struct {
+		s, alg string
+	}
+	var curves []curve
+	for _, s := range sources {
+		for _, alg := range algs {
+			cols = append(cols, fmt.Sprintf("%s %s", s, shortAlg(alg)))
+			curves = append(curves, curve{s, alg})
+		}
+	}
+	rows := make([]string, len(grid))
+	for i, l := range grid {
+		rows[i] = fmt.Sprintf("%g", l)
+	}
+	printTable("Ext C: arrival processes at equal offered load, 4 random faults, 8-ary 2-cube, V=6 (mean cycles)", cols, rows,
+		func(ri, ci int) string {
+			cu := curves[ci]
+			return latencyCell(res[label(cu.s, cu.alg, grid[ri])])
 		})
 }

@@ -1,12 +1,17 @@
 // Command swsim runs one Software-Based routing simulation point and prints
-// a result row. The routing algorithm is selected by registry name (-alg;
-// -list enumerates what is available).
+// a result row. The routing algorithm, destination pattern and arrival
+// process are all selected by registry spec (-alg, -pattern, -traffic;
+// -list enumerates everything available).
 //
 // Examples:
 //
 //	swsim -k 8 -n 2 -v 4 -m 32 -lambda 0.006 -faults 3
 //	swsim -k 8 -n 3 -v 10 -m 32 -lambda 0.01 -faults 12 -alg adaptive
 //	swsim -k 8 -n 2 -v 6 -m 32 -lambda 0.006 -pattern transpose -alg valiant
+//	swsim -k 8 -n 2 -v 6 -m 32 -lambda 0.006 -traffic 'burst:on=50,off=200,rate=0.02'
+//	swsim -k 8 -n 2 -v 6 -m 32 -lambda 0.006 -pattern 'hotspot:frac=0.1,node=12'
+//	swsim -k 8 -n 2 -v 4 -m 32 -lambda 0.006 -workload-out w.csv
+//	swsim -k 8 -n 2 -v 4 -m 32 -traffic 'replay:file=w.csv'
 //	swsim -k 8 -n 2 -v 10 -m 32 -lambda 0.012 -shape U -warmup 10000 -measure 90000
 package main
 
@@ -19,7 +24,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fault"
-	"repro/internal/routing"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -32,10 +37,12 @@ func main() {
 		lambda   = flag.Float64("lambda", 0.004, "generation rate (messages/node/cycle)")
 		alg      = flag.String("alg", "det", "routing algorithm (see -list)")
 		adaptive = flag.Bool("adaptive", false, "deprecated: same as -alg adaptive")
-		list     = flag.Bool("list", false, "list registered routing algorithms and exit")
+		list     = flag.Bool("list", false, "list registered algorithms, patterns and sources, then exit")
 		faults   = flag.Int("faults", 0, "random faulty nodes")
 		shape    = flag.String("shape", "", "fault region shape: rect|T|plus|L|U (Fig. 5 configurations)")
-		pattern  = flag.String("pattern", "uniform", "traffic pattern: uniform|transpose|hotspot")
+		pattern  = flag.String("pattern", "uniform", "destination pattern spec (see -list)")
+		traf     = flag.String("traffic", "poisson", "arrival process spec (see -list)")
+		wlOut    = flag.String("workload-out", "", "capture the generated workload to this CSV file (replay with -traffic 'replay:file=...')")
 		warmup   = flag.Int("warmup", 1000, "warm-up messages (unmeasured)")
 		measure  = flag.Int("measure", 10000, "measured message deliveries")
 		td       = flag.Int64("td", 0, "router decision time (cycles)")
@@ -47,9 +54,7 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		for _, info := range routing.Algorithms() {
-			fmt.Printf("%-18s V>=%d  %s\n", info.Name, info.MinV, info.Description)
-		}
+		core.PrintRegistries(os.Stdout, "")
 		return
 	}
 
@@ -68,6 +73,11 @@ func main() {
 	cfg.BufDepth = *buf
 	cfg.Algorithm = algName
 	cfg.Pattern = *pattern
+	cfg.Traffic = *traf
+	var captured trace.Workload
+	if *wlOut != "" {
+		cfg.CaptureWorkload = &captured
+	}
 	cfg.WarmupMessages = *warmup
 	cfg.MeasureMessages = *measure
 	cfg.Td = *td
@@ -91,6 +101,23 @@ func main() {
 	}
 	elapsed := time.Since(start)
 
+	if *wlOut != "" {
+		f, err := os.Create(*wlOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "swsim: %v\n", err)
+			os.Exit(1)
+		}
+		werr := captured.Write(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "swsim: writing workload: %v\n", werr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "swsim: captured %d workload records to %s\n", captured.Len(), *wlOut)
+	}
+
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -106,8 +133,8 @@ func main() {
 	}
 
 	if !*quiet {
-		fmt.Printf("# %d-ary %d-cube, %s routing, V=%d, M=%d flits, λ=%g, faults=%d%s\n",
-			*k, *n, algName, *v, *m, *lambda, *faults, shapeNote(*shape))
+		fmt.Printf("# %d-ary %d-cube, %s routing, V=%d, M=%d flits, λ=%g, traffic=%s, pattern=%s, faults=%d%s\n",
+			*k, *n, algName, *v, *m, *lambda, cfg.TrafficSpec(), cfg.PatternSpec(), *faults, shapeNote(*shape))
 		fmt.Printf("# wall time: %v, simulated cycles: %d\n", elapsed.Round(time.Millisecond), res.Cycles)
 		fmt.Println("lambda,mean_latency,ci95,p50,p95,p99,throughput,accepted,delivered,queued_fault,queued_via,saturated")
 	}

@@ -14,6 +14,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/message"
 	"repro/internal/metrics"
@@ -38,8 +39,14 @@ func main() {
 		dstFlag  = flag.String("dst", "", "destination coordinates (required)")
 		algFlag  = flag.String("alg", "det", "routing algorithm from the registry")
 		adaptive = flag.Bool("adaptive", false, "deprecated: same as -alg adaptive")
+		list     = flag.Bool("list", false, "list registered algorithms, patterns and sources, then exit")
 	)
 	flag.Parse()
+
+	if *list {
+		core.PrintRegistries(os.Stdout, "swsim ")
+		return
+	}
 
 	t := topology.New(*k, *n)
 	src, err := parseCoords(t, *srcFlag)

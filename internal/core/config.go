@@ -7,10 +7,13 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/fault"
 	"repro/internal/routing"
 	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/traffic"
 )
 
 // ShapeStamp places one fault-region silhouette into a plane of the torus.
@@ -66,11 +69,26 @@ type Config struct {
 	// deterministic (e-cube) base. Deprecated: set Algorithm instead; the
 	// flag is honoured only when Algorithm is empty.
 	Adaptive bool
-	// Pattern names the destination pattern: "uniform" (paper), or
-	// "transpose"/"hotspot" for the extended experiments.
+	// Pattern is the destination-pattern spec in the traffic registry:
+	// "uniform" (paper), "transpose", "hotspot:frac=0.1,node=12",
+	// "bitrev", "weights:5=3,rest=1", ... (see traffic.Patterns).
 	Pattern string
-	// HotspotFrac is the hotspot probability when Pattern == "hotspot".
+	// HotspotFrac is the legacy hotspot probability, honoured only when
+	// Pattern is exactly "hotspot" with no parameters. Deprecated: write
+	// "hotspot:frac=..." into Pattern instead.
 	HotspotFrac float64
+	// Traffic is the arrival-process spec in the traffic source registry:
+	// "poisson" (paper, the default), "interval:period=200",
+	// "burst:on=50,off=200,rate=0.02", "nodemap:default=0.001,12=0.01",
+	// "replay:file=w.csv", ... (see traffic.Sources). Rate-bearing sources
+	// default their rate from Lambda so workloads compare at equal
+	// offered load.
+	Traffic string
+	// CaptureWorkload, when non-nil, receives one (cycle,src,dst,len)
+	// record per generated message; write it out with Workload.Write and
+	// re-drive it with Traffic = "replay:file=...". Not part of the
+	// serialisable experiment description.
+	CaptureWorkload *trace.Workload `json:"-"`
 	// Faults is the fault configuration.
 	Faults FaultSpec
 	// WarmupMessages are generated-but-unmeasured messages (paper: 10,000).
@@ -124,6 +142,29 @@ func DefaultConfig(k, n int, lambda float64) Config {
 	}
 }
 
+// PatternSpec resolves the destination-pattern spec for this config:
+// Pattern when set (empty means "uniform"), with the legacy HotspotFrac
+// field folded into a bare "hotspot" for compatibility.
+func (c Config) PatternSpec() string {
+	p := c.Pattern
+	if p == "" {
+		p = "uniform"
+	}
+	if p == "hotspot" && c.HotspotFrac > 0 {
+		p = fmt.Sprintf("hotspot:frac=%g", c.HotspotFrac)
+	}
+	return p
+}
+
+// TrafficSpec resolves the arrival-process spec for this config; empty
+// means the paper's "poisson".
+func (c Config) TrafficSpec() string {
+	if c.Traffic == "" {
+		return "poisson"
+	}
+	return c.Traffic
+}
+
 // AlgorithmName resolves the routing-algorithm registry key for this
 // config: the explicit Algorithm field when set, else the legacy Adaptive
 // flag's "adaptive"/"det".
@@ -164,10 +205,8 @@ func (c Config) Validate() error {
 	case c.Td < 0 || c.Delta < 0:
 		return fmt.Errorf("core: Td and Delta must be >= 0")
 	}
-	switch c.Pattern {
-	case "", "uniform", "transpose", "hotspot":
-	default:
-		return fmt.Errorf("core: unknown traffic pattern %q", c.Pattern)
+	if err := c.validateWorkload(); err != nil {
+		return err
 	}
 	faulty := c.Faults.RandomNodes
 	for _, s := range c.Faults.Shapes {
@@ -187,15 +226,77 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// validateWorkload checks the pattern and source specs: parseable,
+// registered names, well-formed parameters (via the traffic registry's
+// static checks), and — because only the config knows the network size —
+// that every referenced node id (hotspot's node=, the per-node entries of
+// nodemap/weights) is inside the K^N-node network.
+func (c Config) validateWorkload() error {
+	total := 1
+	for i := 0; i < c.N; i++ {
+		total *= c.K
+	}
+	pspec, pinfo, err := traffic.CheckPatternSpec(c.PatternSpec())
+	if err != nil {
+		return fmt.Errorf("core: bad traffic pattern: %w", err)
+	}
+	if err := checkSpecNodeIDs(pspec, pinfo, total); err != nil {
+		return fmt.Errorf("core: bad traffic pattern: %w", err)
+	}
+	tspec, tinfo, err := traffic.CheckSourceSpec(c.TrafficSpec())
+	if err != nil {
+		return fmt.Errorf("core: bad traffic source: %w", err)
+	}
+	if err := checkSpecNodeIDs(tspec, tinfo, total); err != nil {
+		return fmt.Errorf("core: bad traffic source: %w", err)
+	}
+	return nil
+}
+
+// checkSpecNodeIDs range-checks every node id a workload spec references —
+// the decimal-keyed per-node parameters plus the parameters the registry
+// declares as node-valued (Info.NodeIDKeys) — against the network size.
+func checkSpecNodeIDs(spec traffic.Spec, info traffic.Info, total int) error {
+	inRange := func(s string) error {
+		id, err := strconv.Atoi(s)
+		if err != nil || id < 0 || id >= total {
+			return fmt.Errorf("node id %q out of range [0,%d)", s, total)
+		}
+		return nil
+	}
+	for _, p := range spec.Params {
+		if traffic.IsNodeKey(p.Key) {
+			if err := inRange(p.Key); err != nil {
+				return err
+			}
+		}
+	}
+	for _, key := range info.NodeIDKeys {
+		if s, ok := spec.Get(key); ok {
+			if err := inRange(s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // maxCycles derives the run bound when Config.MaxCycles is zero: twenty
-// times the ideal time to generate the quota, floored generously.
-func (c Config) maxCycles(nodes int) int64 {
+// times the ideal time for the source to generate the quota, floored
+// generously. Sources that report their long-run aggregate rate
+// (traffic.MeanRater — nodemap, explicit rate=/period= parameters, replay)
+// override the λ-derived default, so a workload lighter than λ is not cut
+// off and flagged saturated spuriously.
+func (c Config) maxCycles(src traffic.Source, nodes int) int64 {
 	if c.MaxCycles > 0 {
 		return c.MaxCycles
 	}
+	rate := c.Lambda * float64(nodes)
+	if mr, ok := src.(traffic.MeanRater); ok && mr.MeanRate() > 0 {
+		rate = mr.MeanRate()
+	}
 	quota := float64(c.WarmupMessages + c.MeasureMessages)
-	ideal := quota / (c.Lambda * float64(nodes))
-	bound := int64(20 * ideal)
+	bound := int64(20 * quota / rate)
 	if bound < 500_000 {
 		bound = 500_000
 	}

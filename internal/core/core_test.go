@@ -1,11 +1,17 @@
 package core
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"repro/internal/fault"
+	"repro/internal/message"
+	"repro/internal/rng"
 	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/traffic"
 )
 
 func TestValidate(t *testing.T) {
@@ -24,7 +30,17 @@ func TestValidate(t *testing.T) {
 		func(c *Config) { c.MeasureMessages = 0 },
 		func(c *Config) { c.WarmupMessages = -1 },
 		func(c *Config) { c.Td = -1 },
-		func(c *Config) { c.Pattern = "bursty" },
+		func(c *Config) { c.Pattern = "bursty" },                       // a source name, not a pattern
+		func(c *Config) { c.Pattern = "hotspot:frac=1.5" },             // fraction out of (0,1]
+		func(c *Config) { c.Pattern = "hotspot:node=64" },              // node outside the 8x8 torus
+		func(c *Config) { c.Pattern = "hotspot:node=-1" },              // negative node
+		func(c *Config) { c.Pattern = "weights:64=1" },                 // per-node key out of range
+		func(c *Config) { c.Pattern = "uniform:x=1" },                  // unknown parameter
+		func(c *Config) { c.Traffic = "uniform" },                      // a pattern name, not a source
+		func(c *Config) { c.Traffic = "burst:on=-5" },                  // bad duration
+		func(c *Config) { c.Traffic = "burst:quux=1" },                 // unknown parameter
+		func(c *Config) { c.Traffic = "nodemap:default=0.001,64=0.1" }, // node out of range
+		func(c *Config) { c.Traffic = "replay" },                       // missing file=
 		func(c *Config) { c.Faults.RandomNodes = 64 },
 	}
 	for i, mutate := range bad {
@@ -199,7 +215,10 @@ func TestRunRejectsBadConfig(t *testing.T) {
 }
 
 func TestPatterns(t *testing.T) {
-	for _, p := range []string{"uniform", "transpose", "hotspot"} {
+	for _, p := range []string{
+		"uniform", "transpose", "hotspot",
+		"hotspot:frac=0.2,node=7", "bitrev", "weights:3=2,9=1,rest=1",
+	} {
 		c := DefaultConfig(4, 2, 0.01)
 		c.Pattern = p
 		c.WarmupMessages = 20
@@ -211,5 +230,112 @@ func TestPatterns(t *testing.T) {
 		if res.Delivered < 200 {
 			t.Fatalf("%s: delivered %d", p, res.Delivered)
 		}
+	}
+}
+
+// TestTrafficSources runs every generating source spec end-to-end through
+// the full config → registry → engine path.
+func TestTrafficSources(t *testing.T) {
+	for _, s := range []string{
+		"poisson", "poisson:rate=0.008",
+		"interval", "interval:period=150",
+		"burst:on=40,off=120", "burst:on=40,off=120,rate=0.03",
+		"nodemap:default=0.005,0=0.02,7=0",
+	} {
+		c := DefaultConfig(4, 2, 0.01)
+		c.Traffic = s
+		c.WarmupMessages = 20
+		c.MeasureMessages = 200
+		res, err := Run(c)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if res.Delivered < 200 {
+			t.Fatalf("%s: delivered %d", s, res.Delivered)
+		}
+	}
+}
+
+// TestCaptureThenReplayThroughRun closes the capture → file → replay loop
+// at the façade level: a captured run's workload, written to disk and
+// re-driven via Traffic="replay:file=...", must deliver the same message
+// count with the same mean latency (the engine seed is unchanged and the
+// workload is identical by construction).
+func TestCaptureThenReplayThroughRun(t *testing.T) {
+	var w trace.Workload
+	c := DefaultConfig(8, 2, 0.006)
+	c.WarmupMessages = 50
+	c.MeasureMessages = 1000
+	c.CaptureWorkload = &w
+	base, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() == 0 {
+		t.Fatal("nothing captured")
+	}
+	file := filepath.Join(t.TempDir(), "w.csv")
+	f, err := os.Create(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := DefaultConfig(8, 2, 0.006)
+	c2.WarmupMessages = 50
+	c2.MeasureMessages = 1000
+	c2.Traffic = "replay:file=" + file
+	rep, err := Run(c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Delivered != base.Delivered {
+		t.Fatalf("replay delivered %d, capture run %d", rep.Delivered, base.Delivered)
+	}
+	if rep.MeanLatency != base.MeanLatency {
+		t.Fatalf("replay mean latency %.3f, capture run %.3f", rep.MeanLatency, base.MeanLatency)
+	}
+}
+
+func TestMaxCyclesTracksSourceRate(t *testing.T) {
+	tor := topology.New(8, 2)
+	fs := fault.NewSet(tor)
+	build := func(c Config) traffic.Source {
+		t.Helper()
+		src, err := buildWorkload(c, tor, fs, message.Deterministic, rng.New(c.Seed).Split(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return src
+	}
+	base := DefaultConfig(8, 2, 0.004) // warmup 1000 + measure 10000
+	quota := float64(base.WarmupMessages + base.MeasureMessages)
+
+	// The default poisson source offers exactly λ, so the bound matches the
+	// λ-derived formula.
+	if got, want := base.maxCycles(build(base), 64), int64(20*quota/(0.004*64)); got != want {
+		t.Errorf("poisson bound = %d, want %d", got, want)
+	}
+
+	// A nodemap far lighter than λ needs a proportionally longer run; the
+	// λ-derived bound (~859k cycles) would truncate it spuriously. The
+	// source accumulates its per-node rates, so allow a rounding cycle.
+	light := base
+	light.Traffic = "nodemap:default=0.0001"
+	got, want := light.maxCycles(build(light), 64), int64(20*quota/(0.0001*64))
+	if got < want-1 || got > want+1 {
+		t.Errorf("nodemap bound = %d, want %d±1", got, want)
+	}
+
+	// Explicit MaxCycles always wins.
+	pinned := light
+	pinned.MaxCycles = 123
+	if got := pinned.maxCycles(build(pinned), 64); got != 123 {
+		t.Errorf("pinned bound = %d, want 123", got)
 	}
 }

@@ -1,0 +1,28 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/routing"
+	"repro/internal/traffic"
+)
+
+// PrintRegistries writes the three registry sections shared by the CLIs'
+// -list output: routing algorithms, destination patterns and arrival
+// sources. prefix qualifies the pattern/traffic flag names in the section
+// headers for commands (swtrace) that do not take those flags themselves.
+func PrintRegistries(w io.Writer, prefix string) {
+	fmt.Fprintln(w, "routing algorithms (-alg):")
+	for _, info := range routing.Algorithms() {
+		fmt.Fprintf(w, "  %-18s V>=%d  %s\n", info.Name, info.MinV, info.Description)
+	}
+	fmt.Fprintf(w, "\ndestination patterns (%s-pattern):\n", prefix)
+	for _, info := range traffic.Patterns() {
+		fmt.Fprintf(w, "  %-40s %s\n", info.Usage, info.Description)
+	}
+	fmt.Fprintf(w, "\narrival sources (%s-traffic):\n", prefix)
+	for _, info := range traffic.Sources() {
+		fmt.Fprintf(w, "  %-52s %s\n", info.Usage, info.Description)
+	}
+}

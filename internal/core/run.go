@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/fault"
+	"repro/internal/message"
 	"repro/internal/metrics"
 	"repro/internal/network"
 	"repro/internal/rng"
@@ -41,23 +42,34 @@ func BuildFaults(t *topology.Torus, spec FaultSpec, seed uint64) (*fault.Set, er
 	return fs, nil
 }
 
-// buildPattern constructs the destination pattern named by the config.
-func buildPattern(c Config, t *topology.Torus, fs *fault.Set) (traffic.Pattern, error) {
-	switch c.Pattern {
-	case "", "uniform":
-		return traffic.NewUniform(fs), nil
-	case "transpose":
-		return traffic.NewTranspose(t, fs), nil
-	case "hotspot":
-		frac := c.HotspotFrac
-		if frac <= 0 {
-			frac = 0.1
-		}
-		healthy := fs.HealthyNodes()
-		return traffic.NewHotspot(traffic.NewUniform(fs), healthy[len(healthy)/2], frac, fs), nil
-	default:
-		return nil, fmt.Errorf("core: unknown traffic pattern %q", c.Pattern)
+// buildWorkload constructs the config's workload from the traffic
+// registries: the destination pattern (spatial) feeding the arrival source
+// (temporal), optionally wrapped in a capture recorder. r must be the
+// stream the pre-registry code handed to traffic.NewGenerator (the run
+// seed's Split(1)) so the default poisson+uniform path consumes random
+// numbers in exactly the historical order.
+func buildWorkload(c Config, t *topology.Torus, fs *fault.Set, mode message.Mode, r *rng.Stream) (traffic.Source, error) {
+	pattern, err := traffic.NewPattern(c.PatternSpec(), t, fs)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
+	src, err := traffic.NewSource(c.TrafficSpec(), traffic.Env{
+		T:       t,
+		F:       fs,
+		Sources: fs.HealthyNodes(),
+		Lambda:  c.Lambda,
+		MsgLen:  c.MsgLen,
+		Mode:    mode,
+		Pattern: pattern,
+		R:       r,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if c.CaptureWorkload != nil {
+		return traffic.NewCapture(src, c.CaptureWorkload), nil
+	}
+	return src, nil
 }
 
 // Run executes one simulation point to completion and returns its measured
@@ -83,13 +95,12 @@ func Run(c Config) (metrics.Results, error) {
 			es.SetEscalation(c.Escalation)
 		}
 	}
-	pattern, err := buildPattern(c, t, fs)
+	r := rng.New(c.Seed)
+	sources := fs.HealthyNodes()
+	gen, err := buildWorkload(c, t, fs, mode, r.Split(1))
 	if err != nil {
 		return metrics.Results{}, err
 	}
-	r := rng.New(c.Seed)
-	sources := fs.HealthyNodes()
-	gen := traffic.NewGenerator(t, sources, c.Lambda, c.MsgLen, mode, pattern, r.Split(1))
 	col := metrics.NewCollector(c.WarmupMessages)
 	params := network.Params{
 		V:                  c.V,
@@ -104,7 +115,7 @@ func Run(c Config) (metrics.Results, error) {
 	nw := network.New(t, fs, alg, gen, col, params, r.Split(2))
 
 	quota := uint64(c.MeasureMessages)
-	limit := c.maxCycles(len(sources))
+	limit := c.maxCycles(gen, len(sources))
 	backlogLimit := c.saturationBacklog(len(sources))
 	saturated := false
 	for col.DeliveredCount() < quota {

@@ -1,8 +1,9 @@
 // Package network is the flit-level, cycle-accurate simulation engine: it
-// wires one router per node of a k-ary n-cube, drives Poisson traffic
-// through them under wormhole switching with virtual channels and credit
-// flow control, and implements the Software-Based absorption/re-injection
-// machinery (assumption (i) of the paper):
+// wires one router per node of a k-ary n-cube, drives the configured
+// traffic source (any registered traffic.Source — Poisson, bursty, trace
+// replay, ...) through them under wormhole switching with virtual channels
+// and credit flow control, and implements the Software-Based
+// absorption/re-injection machinery (assumption (i) of the paper):
 //
 //   - a message whose outgoing channel leads to a fault is ejected through
 //     the local ejection channel into the node's software queue,
@@ -111,7 +112,7 @@ type Network struct {
 	p   Params
 
 	routers []*router.Router
-	gen     *traffic.Generator
+	gen     traffic.Source
 	col     *metrics.Collector
 	r       *rng.Stream
 
@@ -153,8 +154,10 @@ type Network struct {
 }
 
 // New builds an engine. alg must be bound to the same topology and fault
-// set.
-func New(t *topology.Torus, f *fault.Set, alg routing.Router, gen *traffic.Generator, col *metrics.Collector, p Params, r *rng.Stream) *Network {
+// set. gen is the traffic source polled once per cycle (any registered
+// traffic.Source — Poisson, bursty, replay, ...); nil runs a source-less
+// engine driven through Enqueue.
+func New(t *topology.Torus, f *fault.Set, alg routing.Router, gen traffic.Source, col *metrics.Collector, p Params, r *rng.Stream) *Network {
 	if p.V != alg.V() {
 		panic(fmt.Sprintf("network: params V=%d but algorithm V=%d", p.V, alg.V()))
 	}

@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/topology"
+)
+
+// WorkloadRecord is one generated message of a captured workload: the cycle
+// it was created, its endpoints, and its length in flits. A sequence of
+// records is a complete, rng-free description of a run's offered traffic —
+// enough to re-drive it through a different configuration (see
+// internal/traffic's capture and replay sources).
+type WorkloadRecord struct {
+	Cycle int64
+	Src   topology.NodeID
+	Dst   topology.NodeID
+	Len   int
+}
+
+// Workload is an append-only list of workload records in generation order.
+type Workload struct {
+	Records []WorkloadRecord
+}
+
+// Append adds one record.
+func (w *Workload) Append(r WorkloadRecord) { w.Records = append(w.Records, r) }
+
+// Len returns the number of captured records.
+func (w *Workload) Len() int { return len(w.Records) }
+
+// Write serialises the workload as CSV ("cycle,src,dst,len" per line) with
+// a comment header, the format ParseWorkload reads back.
+func (w *Workload) Write(out io.Writer) error {
+	bw := bufio.NewWriter(out)
+	if _, err := fmt.Fprintln(bw, "# workload: cycle,src,dst,len"); err != nil {
+		return err
+	}
+	for _, r := range w.Records {
+		if _, err := fmt.Fprintf(bw, "%d,%d,%d,%d\n", r.Cycle, r.Src, r.Dst, r.Len); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseWorkload reads the CSV format Write produces. Blank lines and lines
+// starting with '#' are skipped.
+func ParseWorkload(in io.Reader) (*Workload, error) {
+	var w Workload
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("trace: workload line %d: want cycle,src,dst,len, got %q", lineNo, line)
+		}
+		var vals [4]int64
+		for i, f := range fields {
+			v, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("trace: workload line %d: bad field %q", lineNo, f)
+			}
+			vals[i] = v
+		}
+		w.Append(WorkloadRecord{
+			Cycle: vals[0],
+			Src:   topology.NodeID(vals[1]),
+			Dst:   topology.NodeID(vals[2]),
+			Len:   int(vals[3]),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: reading workload: %w", err)
+	}
+	return &w, nil
+}

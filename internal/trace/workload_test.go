@@ -1,0 +1,55 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWorkloadRoundTrip(t *testing.T) {
+	var w Workload
+	w.Append(WorkloadRecord{Cycle: 1, Src: 0, Dst: 5, Len: 32})
+	w.Append(WorkloadRecord{Cycle: 9, Src: 63, Dst: 2, Len: 8})
+	w.Append(WorkloadRecord{Cycle: 9, Src: 1, Dst: 3, Len: 1})
+	var b strings.Builder
+	if err := w.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseWorkload(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != w.Len() {
+		t.Fatalf("parsed %d records, wrote %d", got.Len(), w.Len())
+	}
+	for i := range w.Records {
+		if got.Records[i] != w.Records[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, got.Records[i], w.Records[i])
+		}
+	}
+}
+
+func TestParseWorkloadSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\n 3,1,2,16 \n# trailing comment\n7,0,9,4\n"
+	w, err := ParseWorkload(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 2 || w.Records[0].Cycle != 3 || w.Records[1].Dst != 9 {
+		t.Fatalf("parsed %+v", w.Records)
+	}
+}
+
+func TestParseWorkloadErrors(t *testing.T) {
+	for _, in := range []string{
+		"1,2,3",     // too few fields
+		"1,2,3,4,5", // too many fields
+		"x,2,3,4",   // not a number
+		"-1,2,3,4",  // negative cycle
+		"1,-2,3,4",  // negative node
+		"1,2,3,4.5", // non-integer length
+	} {
+		if _, err := ParseWorkload(strings.NewReader(in)); err == nil {
+			t.Errorf("%q accepted", in)
+		}
+	}
+}

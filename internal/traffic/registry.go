@@ -1,0 +1,281 @@
+package traffic
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/fault"
+	"repro/internal/message"
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+// Source is the pluggable temporal side of the workload: an arrival process
+// producing the messages generated at (or before) each polled cycle. The
+// engine polls it once per cycle; implementations pre-schedule arrivals so
+// Poll cost is proportional to the number of arrivals, not nodes.
+type Source interface {
+	// Name identifies the configured source in reports.
+	Name() string
+	// Poll returns the messages generated at cycle now (creation times
+	// <= now not returned before). Implementations must return them in a
+	// deterministic order for a fixed rng seed.
+	Poll(now int64) []*message.Message
+}
+
+// Env bundles everything a source factory may need: the bound network, the
+// generating nodes, the configured default rate and message shape, the
+// spatial destination pattern, and the rng stream the source owns.
+type Env struct {
+	T *topology.Torus
+	F *fault.Set
+	// Sources are the traffic-generating nodes (normally the healthy set).
+	Sources []topology.NodeID
+	// Lambda is the default per-node rate in messages/node/cycle; sources
+	// with their own rate parameters treat it as the offered-load target.
+	Lambda float64
+	// MsgLen is the fixed message length in flits.
+	MsgLen int
+	// Mode is the routing discipline injected headers start in.
+	Mode message.Mode
+	// Pattern picks destinations for sources that generate (rather than
+	// replay) traffic.
+	Pattern Pattern
+	// R is the rng stream owned by the source.
+	R *rng.Stream
+}
+
+// check validates the parts of the environment every generating source
+// needs; replay-style sources validate their own inputs.
+func (e Env) check() error {
+	switch {
+	case e.T == nil:
+		return fmt.Errorf("traffic: source env needs a topology")
+	case len(e.Sources) == 0:
+		return fmt.Errorf("traffic: source env has no generating nodes")
+	case e.MsgLen < 1:
+		return fmt.Errorf("traffic: message length must be >= 1, got %d", e.MsgLen)
+	case e.Pattern == nil:
+		return fmt.Errorf("traffic: source env needs a destination pattern")
+	case e.R == nil:
+		return fmt.Errorf("traffic: source env needs an rng stream")
+	}
+	return nil
+}
+
+// MeanRater is implemented by sources that know their long-run aggregate
+// arrival rate (messages/cycle summed over all generating nodes). The run
+// layer uses it to derive its default cycle bound, so a source whose actual
+// rate differs from the configured λ (nodemap, explicit rate= or period=
+// parameters, replay) is not cut off spuriously.
+type MeanRater interface {
+	MeanRate() float64
+}
+
+// SourceFactory builds a configured Source from its parsed spec.
+type SourceFactory func(env Env, spec Spec) (Source, error)
+
+// PatternFactory builds a configured Pattern from its parsed spec.
+type PatternFactory func(t *topology.Torus, f *fault.Set, spec Spec) (Pattern, error)
+
+// Info describes a registered pattern or source for listings and
+// validation.
+type Info struct {
+	// Name is the primary registry key.
+	Name string
+	// Usage is the spec grammar, e.g. "burst:on=<cycles>,off=<cycles>".
+	Usage string
+	// Description is a one-line summary for -list style output.
+	Description string
+	// Aliases are additional keys resolving to the same factory.
+	Aliases []string
+	// NodeIDKeys lists parameter keys whose values are node ids (e.g.
+	// hotspot's "node"), so callers that know the network size can
+	// range-check them statically alongside the decimal per-node keys.
+	NodeIDKeys []string
+}
+
+// entry pairs an Info with its factory and static parameter check.
+type entry[F any] struct {
+	info    Info
+	check   func(Spec) error
+	factory F
+}
+
+// table is a string-keyed registry shared by patterns and sources,
+// mirroring the routing-algorithm registry.
+type table[F any] struct {
+	kind    string
+	mu      sync.RWMutex
+	m       map[string]*entry[F]
+	primary []string
+}
+
+func (tb *table[F]) register(info Info, check func(Spec) error, factory F) {
+	if info.Name == "" {
+		panic(fmt.Sprintf("traffic: Register%s with empty name", tb.kind))
+	}
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	e := &entry[F]{info: info, check: check, factory: factory}
+	for _, key := range append([]string{info.Name}, info.Aliases...) {
+		if _, dup := tb.m[key]; dup {
+			panic(fmt.Sprintf("traffic: duplicate registration of %s %q", tb.kind, key))
+		}
+		tb.m[key] = e
+	}
+	tb.primary = append(tb.primary, info.Name)
+}
+
+func (tb *table[F]) lookup(name string) (*entry[F], bool) {
+	tb.mu.RLock()
+	defer tb.mu.RUnlock()
+	e, ok := tb.m[name]
+	return e, ok
+}
+
+func (tb *table[F]) names() []string {
+	tb.mu.RLock()
+	out := append([]string(nil), tb.primary...)
+	tb.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+func (tb *table[F]) infos() []Info {
+	tb.mu.RLock()
+	out := make([]Info, 0, len(tb.primary))
+	for _, name := range tb.primary {
+		out = append(out, tb.m[name].info)
+	}
+	tb.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// resolve parses a spec string and finds its registry entry.
+func (tb *table[F]) resolve(specStr string) (*entry[F], Spec, error) {
+	spec, err := ParseSpec(specStr)
+	if err != nil {
+		return nil, Spec{}, err
+	}
+	e, ok := tb.lookup(spec.Name)
+	if !ok {
+		return nil, Spec{}, fmt.Errorf("traffic: unknown %s %q (registered: %v)", tb.kind, spec.Name, tb.names())
+	}
+	return e, spec, nil
+}
+
+// check statically validates a spec string — parseable, registered name,
+// well-formed parameters — and returns the parsed Spec with the resolved
+// entry's Info so callers can continue without re-parsing. Environment-
+// dependent checks (node healthiness, replay file contents) happen at
+// construction.
+func (tb *table[F]) check(specStr string) (Spec, Info, error) {
+	e, spec, err := tb.resolve(specStr)
+	if err != nil {
+		return Spec{}, Info{}, err
+	}
+	if e.check != nil {
+		if err := e.check(spec); err != nil {
+			return Spec{}, Info{}, err
+		}
+	}
+	return spec, e.info, nil
+}
+
+var (
+	patternReg = &table[PatternFactory]{kind: "pattern", m: map[string]*entry[PatternFactory]{}}
+	sourceReg  = &table[SourceFactory]{kind: "source", m: map[string]*entry[SourceFactory]{}}
+)
+
+// RegisterPattern adds a destination pattern to the registry under
+// info.Name and every alias. check statically validates a parsed spec's
+// parameters (nil for none). Panics on duplicates — registration happens in
+// init functions where a panic is a build-time bug.
+func RegisterPattern(info Info, check func(Spec) error, factory PatternFactory) {
+	if factory == nil {
+		panic(fmt.Sprintf("traffic: RegisterPattern(%q) with nil factory", info.Name))
+	}
+	patternReg.register(info, check, factory)
+}
+
+// RegisterSource adds an arrival-process source to the registry under
+// info.Name and every alias; see RegisterPattern.
+func RegisterSource(info Info, check func(Spec) error, factory SourceFactory) {
+	if factory == nil {
+		panic(fmt.Sprintf("traffic: RegisterSource(%q) with nil factory", info.Name))
+	}
+	sourceReg.register(info, check, factory)
+}
+
+// NewPattern builds the destination pattern described by a spec string
+// ("uniform", "hotspot:frac=0.1,node=12", ...) over the given network.
+func NewPattern(specStr string, t *topology.Torus, f *fault.Set) (Pattern, error) {
+	e, spec, err := patternReg.resolve(specStr)
+	if err != nil {
+		return nil, err
+	}
+	return e.factory(t, f, spec)
+}
+
+// NewSource builds the arrival-process source described by a spec string
+// ("poisson", "burst:on=50,off=200,rate=0.02", "replay:file=w.csv", ...).
+func NewSource(specStr string, env Env) (Source, error) {
+	e, spec, err := sourceReg.resolve(specStr)
+	if err != nil {
+		return nil, err
+	}
+	return e.factory(env, spec)
+}
+
+// CheckPatternSpec statically checks a pattern spec string and returns the
+// parsed Spec and the resolved registry Info.
+func CheckPatternSpec(specStr string) (Spec, Info, error) { return patternReg.check(specStr) }
+
+// CheckSourceSpec statically checks a source spec string and returns the
+// parsed Spec and the resolved registry Info.
+func CheckSourceSpec(specStr string) (Spec, Info, error) { return sourceReg.check(specStr) }
+
+// ValidatePatternSpec statically checks a pattern spec string.
+func ValidatePatternSpec(specStr string) error {
+	_, _, err := patternReg.check(specStr)
+	return err
+}
+
+// ValidateSourceSpec statically checks a source spec string.
+func ValidateSourceSpec(specStr string) error {
+	_, _, err := sourceReg.check(specStr)
+	return err
+}
+
+// LookupPattern returns the Info of a registered pattern (primary or alias).
+func LookupPattern(name string) (Info, bool) {
+	e, ok := patternReg.lookup(name)
+	if !ok {
+		return Info{}, false
+	}
+	return e.info, true
+}
+
+// LookupSource returns the Info of a registered source (primary or alias).
+func LookupSource(name string) (Info, bool) {
+	e, ok := sourceReg.lookup(name)
+	if !ok {
+		return Info{}, false
+	}
+	return e.info, true
+}
+
+// Patterns returns the Info of every registered pattern, sorted by name.
+func Patterns() []Info { return patternReg.infos() }
+
+// Sources returns the Info of every registered source, sorted by name.
+func Sources() []Info { return sourceReg.infos() }
+
+// PatternNames returns the primary registered pattern names, sorted.
+func PatternNames() []string { return patternReg.names() }
+
+// SourceNames returns the primary registered source names, sorted.
+func SourceNames() []string { return sourceReg.names() }

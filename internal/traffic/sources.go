@@ -1,0 +1,439 @@
+package traffic
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"repro/internal/message"
+	"repro/internal/rng"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// schedSource is the shared chassis of the generating sources other than
+// the legacy Poisson Generator: a per-node event heap of pre-scheduled
+// arrivals, so Poll cost is proportional to arrivals rather than nodes.
+// next produces the node's following arrival time (clamped to at least one
+// cycle after the arrival just emitted); per-node process state lives in
+// the concrete source and is indexed by the node's position in sources.
+type schedSource struct {
+	name     string
+	t        *topology.Torus
+	sources  []topology.NodeID
+	msgLen   int
+	mode     message.Mode
+	pattern  Pattern
+	r        *rng.Stream
+	heap     arrivalHeap
+	next     func(idx int, at int64) int64
+	meanRate float64
+	nextID   uint64
+	created  uint64
+}
+
+// newSched builds the chassis after validating the env.
+func newSched(name string, env Env) (*schedSource, error) {
+	if err := env.check(); err != nil {
+		return nil, err
+	}
+	return &schedSource{
+		name:    name,
+		t:       env.T,
+		sources: env.Sources,
+		msgLen:  env.MsgLen,
+		mode:    env.Mode,
+		pattern: env.Pattern,
+		r:       env.R,
+	}, nil
+}
+
+// initHeap schedules the first arrival of every node. first returns the
+// node's initial arrival cycle (clamped to >= 1).
+func (s *schedSource) initHeap(first func(idx int) int64) {
+	for i, src := range s.sources {
+		at := first(i)
+		if at < 1 {
+			at = 1
+		}
+		s.heap = append(s.heap, arrival{at: at, node: src, idx: i})
+	}
+	heap.Init(&s.heap)
+}
+
+// Name implements Source.
+func (s *schedSource) Name() string { return s.name }
+
+// Created returns the total number of messages generated so far.
+func (s *schedSource) Created() uint64 { return s.created }
+
+// MeanRate implements MeanRater: the long-run aggregate arrival rate in
+// messages/cycle, set by each concrete source's constructor.
+func (s *schedSource) MeanRate() float64 { return s.meanRate }
+
+// Poll implements Source; it mirrors Generator.Poll with the pluggable
+// next-arrival sampler.
+func (s *schedSource) Poll(now int64) []*message.Message {
+	var out []*message.Message
+	for {
+		top, ok := s.heap.Peek()
+		if !ok || top.at > now {
+			return out
+		}
+		heap.Pop(&s.heap)
+		dst := s.pattern.Pick(top.node, s.r)
+		m := message.New(s.nextID, top.node, dst, s.msgLen, s.t.N(), s.mode, now)
+		s.nextID++
+		s.created++
+		out = append(out, m)
+		at := s.next(top.idx, top.at)
+		if at <= top.at {
+			at = top.at + 1
+		}
+		heap.Push(&s.heap, arrival{at: at, node: top.node, idx: top.idx})
+	}
+}
+
+// NewPoisson builds the Poisson source on the shared chassis: every node is
+// an independent Poisson process of rate messages/node/cycle. It draws the
+// rng in exactly the legacy Generator's order (destination, then gap;
+// stationary exponential first arrival), so the default workload stays
+// bit-identical to the pre-registry path — guarded by the network package's
+// TestRegistrySourceMatchesLegacyGenerator.
+func NewPoisson(env Env, rate float64) (*schedSource, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("traffic: poisson rate must be > 0, got %g", rate)
+	}
+	s, err := newSched("poisson", env)
+	if err != nil {
+		return nil, err
+	}
+	s.meanRate = rate * float64(len(s.sources))
+	mean := 1 / rate
+	s.next = func(idx int, at int64) int64 { return at + int64(s.r.Exp(mean)) }
+	s.initHeap(func(idx int) int64 { return int64(s.r.Exp(mean)) + 1 })
+	return s, nil
+}
+
+// NewInterval builds the deterministic-interval source: every node emits
+// exactly one message every period cycles, phases randomised uniformly so
+// nodes do not inject in lockstep. The per-node mean rate is 1/period; it
+// is the zero-variance counterpart to Poisson at equal offered load.
+func NewInterval(env Env, period int64) (*schedSource, error) {
+	if period < 1 {
+		return nil, fmt.Errorf("traffic: interval period must be >= 1, got %d", period)
+	}
+	s, err := newSched(fmt.Sprintf("interval(%d)", period), env)
+	if err != nil {
+		return nil, err
+	}
+	s.meanRate = float64(len(s.sources)) / float64(period)
+	s.next = func(idx int, at int64) int64 { return at + period }
+	s.initHeap(func(idx int) int64 { return 1 + int64(s.r.Intn(int(period))) })
+	return s, nil
+}
+
+// MMPP is the two-state Markov-modulated Poisson ("burst") source: each
+// node alternates independently between an ON phase (exponential duration,
+// mean on cycles) emitting Poisson arrivals at rate, and a silent OFF
+// phase (mean off cycles). The long-run per-node rate is rate·on/(on+off);
+// the registry's burst factory derives rate from λ when the spec omits it,
+// so bursty and Poisson runs compare at equal offered load.
+type MMPP struct {
+	*schedSource
+	on, off, rate float64
+	nodes         []mmppNode
+}
+
+// mmppNode is one node's phase-process state in continuous time: the
+// current phase, the cycle it ends at, and the node's own process clock t
+// (the time of its last arrival or phase change).
+type mmppNode struct {
+	on       bool
+	t        float64
+	phaseEnd float64
+}
+
+// NewMMPP builds the bursty source. on and off are mean phase durations in
+// cycles; rate is the Poisson rate while ON.
+func NewMMPP(env Env, on, off, rate float64) (*MMPP, error) {
+	if on <= 0 || off <= 0 {
+		return nil, fmt.Errorf("traffic: burst on/off durations must be > 0, got on=%g off=%g", on, off)
+	}
+	if rate <= 0 {
+		return nil, fmt.Errorf("traffic: burst rate must be > 0, got %g", rate)
+	}
+	s, err := newSched(fmt.Sprintf("burst(on=%g,off=%g,rate=%g)", on, off, rate), env)
+	if err != nil {
+		return nil, err
+	}
+	s.meanRate = rate * on / (on + off) * float64(len(s.sources))
+	m := &MMPP{schedSource: s, on: on, off: off, rate: rate}
+	m.nodes = make([]mmppNode, len(s.sources))
+	for i := range m.nodes {
+		st := &m.nodes[i]
+		// Stationary start: ON with probability on/(on+off); the residual
+		// phase duration is exponential by memorylessness.
+		st.on = s.r.Float64() < on/(on+off)
+		if st.on {
+			st.phaseEnd = s.r.Exp(on)
+		} else {
+			st.phaseEnd = s.r.Exp(off)
+		}
+	}
+	s.next = m.nextArrival
+	s.initHeap(func(idx int) int64 { return m.nextArrival(idx, 0) })
+	return m, nil
+}
+
+// nextArrival advances node idx's phase process to its next arrival. An
+// ON-phase inter-arrival draw that overshoots the phase boundary is
+// discarded and redrawn in the next ON phase — unbiased, because the
+// exponential is memoryless.
+func (m *MMPP) nextArrival(idx int, _ int64) int64 {
+	st := &m.nodes[idx]
+	for {
+		if !st.on {
+			st.t = st.phaseEnd
+			st.on = true
+			st.phaseEnd = st.t + m.r.Exp(m.on)
+			continue
+		}
+		gap := m.r.Exp(1 / m.rate)
+		if st.t+gap <= st.phaseEnd {
+			st.t += gap
+			return int64(st.t)
+		}
+		st.t = st.phaseEnd
+		st.on = false
+		st.phaseEnd = st.t + m.r.Exp(m.off)
+	}
+}
+
+// NewNodeMap builds the heterogeneous-λ source: every node is an
+// independent Poisson source with its own rate. rates maps node id -> λ;
+// def is the rate of unlisted nodes, and a rate of 0 silences a node.
+func NewNodeMap(env Env, rates map[int]float64, def float64) (*schedSource, error) {
+	if def < 0 {
+		return nil, fmt.Errorf("traffic: nodemap default rate must be >= 0, got %g", def)
+	}
+	if env.T == nil {
+		return nil, fmt.Errorf("traffic: source env needs a topology")
+	}
+	total := env.T.Nodes()
+	generating := make(map[topology.NodeID]bool, len(env.Sources))
+	for _, id := range env.Sources {
+		generating[id] = true
+	}
+	ids := make([]int, 0, len(rates))
+	for id := range rates {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		if rates[id] < 0 {
+			return nil, fmt.Errorf("traffic: nodemap node %d: rate must be >= 0, got %g", id, rates[id])
+		}
+		if id < 0 || id >= total {
+			return nil, fmt.Errorf("traffic: nodemap node %d out of range [0,%d)", id, total)
+		}
+		if rates[id] > 0 && !generating[topology.NodeID(id)] {
+			return nil, fmt.Errorf("traffic: nodemap node %d is not a generating (healthy) node", id)
+		}
+	}
+	// Restrict the chassis to the nodes with a positive rate.
+	sub := env
+	sub.Sources = nil
+	var subRates []float64
+	for _, id := range env.Sources {
+		rate := def
+		if r, ok := rates[int(id)]; ok {
+			rate = r
+		}
+		if rate > 0 {
+			sub.Sources = append(sub.Sources, id)
+			subRates = append(subRates, rate)
+		}
+	}
+	if len(sub.Sources) == 0 {
+		return nil, fmt.Errorf("traffic: nodemap leaves no node with a positive rate")
+	}
+	s, err := newSched("nodemap", sub)
+	if err != nil {
+		return nil, err
+	}
+	for _, rate := range subRates {
+		s.meanRate += rate
+	}
+	s.next = func(idx int, at int64) int64 { return at + int64(s.r.Exp(1/subRates[idx])) }
+	s.initHeap(func(idx int) int64 { return 1 + int64(s.r.Exp(1/subRates[idx])) })
+	return s, nil
+}
+
+// --- registry wiring ---
+//
+// Each source's parameter extraction is a standalone parse function used
+// both by its factory and as the registry's static check, so spec
+// validation and construction cannot drift.
+
+func parsePoisson(spec Spec) (rate float64, err error) {
+	a := newArgs(spec)
+	rate = a.PositiveFloat("rate", 0) // 0: defer to env.Lambda
+	return rate, a.finish()
+}
+
+func parseInterval(spec Spec) (period int64, err error) {
+	a := newArgs(spec)
+	period = int64(a.PositiveInt("period", 0)) // 0: derive from env.Lambda
+	return period, a.finish()
+}
+
+type burstParams struct{ on, off, rate float64 }
+
+func parseBurst(spec Spec) (burstParams, error) {
+	a := newArgs(spec)
+	p := burstParams{
+		on:   a.PositiveFloat("on", 50),
+		off:  a.PositiveFloat("off", 200),
+		rate: a.PositiveFloat("rate", 0), // 0: derive from env.Lambda
+	}
+	return p, a.finish()
+}
+
+type nodeMapParams struct {
+	rates map[int]float64
+	def   float64
+}
+
+func parseNodeMap(spec Spec) (nodeMapParams, error) {
+	a := newArgs(spec)
+	p := nodeMapParams{rates: a.NodeFloats(), def: a.Float("default", 0)}
+	if err := a.finish(); err != nil {
+		return p, err
+	}
+	if !(p.def >= 0) { // negated to reject NaN
+		return p, fmt.Errorf("traffic: spec %q: default rate must be >= 0, got %g", spec.String(), p.def)
+	}
+	return p, nil
+}
+
+func parseReplay(spec Spec) (file string, err error) {
+	a := newArgs(spec)
+	file = a.Str("file", "")
+	if err := a.finish(); err != nil {
+		return "", err
+	}
+	if file == "" {
+		return "", fmt.Errorf("traffic: spec %q: replay needs file=<path>", spec.String())
+	}
+	return file, nil
+}
+
+func init() {
+	RegisterSource(Info{
+		Name:        "poisson",
+		Usage:       "poisson[:rate=<msgs/node/cycle>]",
+		Description: "independent Poisson arrivals per node (the paper's workload); rate defaults to λ",
+	}, func(spec Spec) error {
+		_, err := parsePoisson(spec)
+		return err
+	}, func(env Env, spec Spec) (Source, error) {
+		rate, err := parsePoisson(spec)
+		if err != nil {
+			return nil, err
+		}
+		if rate == 0 {
+			rate = env.Lambda
+		}
+		return NewPoisson(env, rate)
+	})
+
+	RegisterSource(Info{
+		Name:        "interval",
+		Usage:       "interval[:period=<cycles>]",
+		Description: "deterministic arrivals, one message per node every period cycles (default round(1/λ))",
+		Aliases:     []string{"deterministic-interval"},
+	}, func(spec Spec) error {
+		_, err := parseInterval(spec)
+		return err
+	}, func(env Env, spec Spec) (Source, error) {
+		period, err := parseInterval(spec)
+		if err != nil {
+			return nil, err
+		}
+		if period == 0 {
+			if env.Lambda <= 0 {
+				return nil, fmt.Errorf("traffic: interval needs period=<cycles> or a positive λ")
+			}
+			period = int64(math.Round(1 / env.Lambda))
+			if period < 1 {
+				period = 1
+			}
+		}
+		return NewInterval(env, period)
+	})
+
+	RegisterSource(Info{
+		Name:        "burst",
+		Usage:       "burst[:on=<cycles>,off=<cycles>,rate=<msgs/node/cycle>]",
+		Description: "MMPP on/off bursty arrivals; rate defaults to λ·(on+off)/on (equal offered load)",
+		Aliases:     []string{"mmpp", "bursty"},
+	}, func(spec Spec) error {
+		_, err := parseBurst(spec)
+		return err
+	}, func(env Env, spec Spec) (Source, error) {
+		p, err := parseBurst(spec)
+		if err != nil {
+			return nil, err
+		}
+		if p.rate == 0 {
+			if env.Lambda <= 0 {
+				return nil, fmt.Errorf("traffic: burst needs rate=<λ> or a positive λ")
+			}
+			p.rate = env.Lambda * (p.on + p.off) / p.on
+		}
+		return NewMMPP(env, p.on, p.off, p.rate)
+	})
+
+	RegisterSource(Info{
+		Name:        "nodemap",
+		Usage:       "nodemap:default=<λ>,<node>=<λ>,...",
+		Description: "heterogeneous load: per-node Poisson rates keyed by node id (0 silences a node)",
+		Aliases:     []string{"hetero"},
+	}, func(spec Spec) error {
+		_, err := parseNodeMap(spec)
+		return err
+	}, func(env Env, spec Spec) (Source, error) {
+		p, err := parseNodeMap(spec)
+		if err != nil {
+			return nil, err
+		}
+		return NewNodeMap(env, p.rates, p.def)
+	})
+
+	RegisterSource(Info{
+		Name:        "replay",
+		Usage:       "replay:file=<workload.csv>",
+		Description: "re-drive captured (cycle,src,dst,len) records (see swsim -workload-out)",
+	}, func(spec Spec) error {
+		_, err := parseReplay(spec)
+		return err
+	}, func(env Env, spec Spec) (Source, error) {
+		file, err := parseReplay(spec)
+		if err != nil {
+			return nil, err
+		}
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, fmt.Errorf("traffic: replay: %w", err)
+		}
+		defer f.Close()
+		w, err := trace.ParseWorkload(f)
+		if err != nil {
+			return nil, err
+		}
+		return NewReplay(env.T, env.F, w, env.Mode)
+	})
+}

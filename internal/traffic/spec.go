@@ -1,0 +1,233 @@
+package traffic
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Spec is a parsed workload specifier of the form
+//
+//	name
+//	name:key=value,key=value,...
+//
+// used to select and parameterise both destination patterns and arrival
+// sources, e.g. "hotspot:frac=0.1,node=12" or "burst:on=50,off=200,rate=0.02".
+// Names and keys are lower-case identifiers; per-node parameters use the
+// decimal node id as the key ("nodemap:default=0.001,12=0.01").
+type Spec struct {
+	Name   string
+	Params []Param
+}
+
+// Param is one key=value pair of a Spec, in written order.
+type Param struct {
+	Key, Value string
+}
+
+// Get returns the value of key and whether it was present.
+func (s Spec) Get(key string) (string, bool) {
+	for _, p := range s.Params {
+		if p.Key == key {
+			return p.Value, true
+		}
+	}
+	return "", false
+}
+
+// String renders the spec back into its parseable form.
+func (s Spec) String() string {
+	if len(s.Params) == 0 {
+		return s.Name
+	}
+	parts := make([]string, len(s.Params))
+	for i, p := range s.Params {
+		parts[i] = p.Key + "=" + p.Value
+	}
+	return s.Name + ":" + strings.Join(parts, ",")
+}
+
+// validName reports whether s is a legal spec name or parameter key:
+// non-empty, lower-case letters, digits, '-' or '_'.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, c := range s {
+		if (c < 'a' || c > 'z') && (c < '0' || c > '9') && c != '-' && c != '_' {
+			return false
+		}
+	}
+	return true
+}
+
+// ParseSpec parses a "name[:key=val,...]" workload specifier.
+func ParseSpec(s string) (Spec, error) {
+	s = strings.TrimSpace(s)
+	name, rest, hasParams := strings.Cut(s, ":")
+	if !validName(name) {
+		return Spec{}, fmt.Errorf("traffic: bad spec name %q in %q", name, s)
+	}
+	spec := Spec{Name: name}
+	if !hasParams {
+		return spec, nil
+	}
+	if rest == "" {
+		return Spec{}, fmt.Errorf("traffic: spec %q has an empty parameter list", s)
+	}
+	seen := map[string]bool{}
+	for _, kv := range strings.Split(rest, ",") {
+		key, val, ok := strings.Cut(kv, "=")
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		if !ok || !validName(key) || val == "" {
+			return Spec{}, fmt.Errorf("traffic: bad parameter %q in spec %q (want key=value)", kv, s)
+		}
+		if seen[key] {
+			return Spec{}, fmt.Errorf("traffic: duplicate parameter %q in spec %q", key, s)
+		}
+		seen[key] = true
+		spec.Params = append(spec.Params, Param{Key: key, Value: val})
+	}
+	return spec, nil
+}
+
+// IsNodeKey reports whether a parameter key is a decimal node id (the
+// per-node entries of nodemap sources and weighted patterns). Exported so
+// layers that know the network size (core's Config.Validate) can
+// range-check per-node keys with the same grammar rule.
+func IsNodeKey(key string) bool {
+	for _, c := range key {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return key != ""
+}
+
+// args is the typed accessor over a Spec's parameters used by factories:
+// every accessor marks its key as consumed and records the first conversion
+// or range error; finish reports that error, or complains about keys no
+// accessor asked for ("unknown parameter"). The same accessors back the
+// static Check functions, so spec validation and construction cannot drift.
+type args struct {
+	spec Spec
+	used map[string]bool
+	err  error
+}
+
+func newArgs(spec Spec) *args {
+	return &args{spec: spec, used: make(map[string]bool, len(spec.Params))}
+}
+
+func (a *args) fail(format string, v ...any) {
+	if a.err == nil {
+		a.err = fmt.Errorf("traffic: spec %q: %s", a.spec.String(), fmt.Sprintf(format, v...))
+	}
+}
+
+func (a *args) lookup(key string) (string, bool) {
+	a.used[key] = true
+	return a.spec.Get(key)
+}
+
+// Float returns the value of key as a float64, or def when absent.
+func (a *args) Float(key string, def float64) float64 {
+	s, ok := a.lookup(key)
+	if !ok {
+		return def
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		a.fail("parameter %s=%q is not a number", key, s)
+		return def
+	}
+	return v
+}
+
+// PositiveFloat is Float restricted to values > 0 when present. The
+// negated comparison also rejects NaN (which satisfies no ordering).
+func (a *args) PositiveFloat(key string, def float64) float64 {
+	v := a.Float(key, def)
+	if _, ok := a.spec.Get(key); ok && !(v > 0) {
+		a.fail("parameter %s must be > 0, got %g", key, v)
+	}
+	return v
+}
+
+// Fraction is Float restricted to (0, 1] when present; NaN is rejected.
+func (a *args) Fraction(key string, def float64) float64 {
+	v := a.Float(key, def)
+	if _, ok := a.spec.Get(key); ok && !(v > 0 && v <= 1) {
+		a.fail("parameter %s must be in (0,1], got %g", key, v)
+	}
+	return v
+}
+
+// Int returns the value of key as an int, or def when absent.
+func (a *args) Int(key string, def int) int {
+	s, ok := a.lookup(key)
+	if !ok {
+		return def
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		a.fail("parameter %s=%q is not an integer", key, s)
+		return def
+	}
+	return v
+}
+
+// PositiveInt is Int restricted to values >= 1 when present.
+func (a *args) PositiveInt(key string, def int) int {
+	v := a.Int(key, def)
+	if _, ok := a.spec.Get(key); ok && a.err == nil && v < 1 {
+		a.fail("parameter %s must be >= 1, got %d", key, v)
+	}
+	return v
+}
+
+// Str returns the raw value of key, or def when absent.
+func (a *args) Str(key, def string) string {
+	if s, ok := a.lookup(key); ok {
+		return s
+	}
+	return def
+}
+
+// NodeFloats consumes every decimal-keyed parameter as a node id -> float
+// entry (negative values rejected).
+func (a *args) NodeFloats() map[int]float64 {
+	out := map[int]float64{}
+	for _, p := range a.spec.Params {
+		if !IsNodeKey(p.Key) {
+			continue
+		}
+		a.used[p.Key] = true
+		id, err := strconv.Atoi(p.Key)
+		if err != nil {
+			a.fail("bad node id %q", p.Key)
+			continue
+		}
+		v, err := strconv.ParseFloat(p.Value, 64)
+		if err != nil || !(v >= 0) { // negated to reject NaN
+			a.fail("node %d: value %q must be a number >= 0", id, p.Value)
+			continue
+		}
+		out[id] = v
+	}
+	return out
+}
+
+// finish returns the first recorded error, or an unknown-parameter error
+// for any key no accessor consumed.
+func (a *args) finish() error {
+	if a.err != nil {
+		return a.err
+	}
+	for _, p := range a.spec.Params {
+		if !a.used[p.Key] {
+			return fmt.Errorf("traffic: spec %q: unknown parameter %q", a.spec.String(), p.Key)
+		}
+	}
+	return nil
+}

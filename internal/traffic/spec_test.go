@@ -1,0 +1,228 @@
+package traffic
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/message"
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+func TestParseSpec(t *testing.T) {
+	for _, tc := range []struct {
+		in     string
+		name   string
+		params int
+	}{
+		{"poisson", "poisson", 0},
+		{"burst:on=50,off=200,rate=0.02", "burst", 3},
+		{"hotspot:frac=0.1,node=12", "hotspot", 2},
+		{"nodemap:default=0.001,12=0.01", "nodemap", 2},
+		{" uniform ", "uniform", 0},
+		{"replay:file=/tmp/w.csv", "replay", 1},
+	} {
+		spec, err := ParseSpec(tc.in)
+		if err != nil {
+			t.Errorf("%q: %v", tc.in, err)
+			continue
+		}
+		if spec.Name != tc.name || len(spec.Params) != tc.params {
+			t.Errorf("%q parsed to %+v", tc.in, spec)
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, in := range []string{
+		"",                  // empty
+		":frac=0.1",         // no name
+		"Burst:on=50",       // upper case name
+		"burst:",            // empty param list
+		"burst:on",          // no value
+		"burst:=5",          // no key
+		"burst:on=",         // empty value
+		"burst:on=5,on=6",   // duplicate key
+		"burst:o n=5",       // space inside key
+		"hot spot:frac=0.1", // space inside name
+		"burst:on=5,,off=6", // empty pair
+		"burst:on=5;off=6",  // wrong separator survives as one bad value? no: key "on" value "5;off=6" is fine... ensure ; in key fails below
+		"burst:on@x=5",      // bad key char
+	} {
+		if _, err := ParseSpec(in); err == nil {
+			// "burst:on=5;off=6" actually parses as on = "5;off=6": values
+			// are free-form, so skip it.
+			if in == "burst:on=5;off=6" {
+				continue
+			}
+			t.Errorf("%q accepted", in)
+		}
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	for _, in := range []string{"poisson", "burst:on=50,off=200,rate=0.02", "weights:5=3,rest=1"} {
+		spec, err := ParseSpec(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := spec.String(); got != in {
+			t.Errorf("round trip %q -> %q", in, got)
+		}
+	}
+}
+
+// testEnv builds a valid source env over a fault-free 8-ary 2-cube.
+func testEnv(t *testing.T, seed uint64) Env {
+	t.Helper()
+	tor := topology.New(8, 2)
+	fs := fault.NewSet(tor)
+	return Env{
+		T: tor, F: fs, Sources: fs.HealthyNodes(),
+		Lambda: 0.005, MsgLen: 16, Mode: message.Deterministic,
+		Pattern: NewUniform(fs), R: rng.New(seed),
+	}
+}
+
+func TestNewSourceRejectsBadSpecs(t *testing.T) {
+	env := testEnv(t, 1)
+	for _, spec := range []string{
+		"warp-drive",         // unknown name
+		"poisson:rate=-0.1",  // non-positive rate
+		"poisson:rate=abc",   // not a number
+		"poisson:rate=nan",   // NaN rate
+		"poisson:rtae=0.1",   // misspelt key
+		"burst:on=0",         // zero duration
+		"burst:off=-5",       // negative duration
+		"burst:rate=nan",     // NaN rate
+		"burst:wavelength=9", // unknown key
+		"interval:period=0",  // zero period
+		"interval:period=0.5",   // fractional period (would truncate to 0)
+		"interval:period=200.9", // fractional period (would truncate to 200)
+		"nodemap:default=-1",    // negative default
+		"nodemap:default=nan",   // NaN default
+		"nodemap:12=nan",        // NaN per-node rate
+		"nodemap:9999=0.1",   // node out of range
+		"nodemap:default=0",  // no node left generating
+		"replay:path=/tmp/x", // wrong key
+		"replay",             // missing file
+		"replay:file=/nonexistent/definitely-missing.csv",
+	} {
+		if _, err := NewSource(spec, env); err == nil {
+			t.Errorf("source spec %q accepted", spec)
+		}
+	}
+}
+
+func TestNewPatternRejectsBadSpecs(t *testing.T) {
+	tor := topology.New(8, 2)
+	fs := fault.NewSet(tor)
+	for _, spec := range []string{
+		"warp-drive",       // unknown name
+		"uniform:frac=0.5", // uniform takes no params
+		"transpose:x=1",    // transpose takes no params
+		"hotspot:frac=0",   // fraction out of (0,1]
+		"hotspot:frac=1.5", // fraction out of (0,1]
+		"hotspot:frac=abc", // not a number
+		"hotspot:frac=nan", // NaN fraction
+		"hotspot:node=-3",  // negative node
+		"hotspot:node=64",  // out of range for 8x8
+		"hotspot:spot=3",   // unknown key
+		"weights:rest=-1",  // negative rest
+		"weights:5=-2",     // negative weight
+		"weights:5=nan",    // NaN weight
+		"weights:5=1,rest=nan", // NaN rest
+		"weights:99=1",     // node out of range
+		"weights:rest=0",   // no positive weight anywhere
+	} {
+		if _, err := NewPattern(spec, tor, fs); err == nil {
+			t.Errorf("pattern spec %q accepted", spec)
+		}
+	}
+}
+
+func TestValidateSpecsStatically(t *testing.T) {
+	// Static validation catches malformed parameters without an env...
+	if err := ValidateSourceSpec("burst:on=-1"); err == nil {
+		t.Error("static source check missed on=-1")
+	}
+	if err := ValidatePatternSpec("hotspot:frac=2"); err == nil {
+		t.Error("static pattern check missed frac=2")
+	}
+	if err := ValidateSourceSpec("poisson"); err != nil {
+		t.Errorf("poisson rejected statically: %v", err)
+	}
+	// ...while env-dependent facts (file existence) wait for construction.
+	if err := ValidateSourceSpec("replay:file=/nonexistent/x.csv"); err != nil {
+		t.Errorf("static replay check should not touch the filesystem: %v", err)
+	}
+}
+
+func TestSourceAliasesResolve(t *testing.T) {
+	env := testEnv(t, 2)
+	for alias, name := range map[string]string{
+		"mmpp:on=10,off=30":                 "burst",
+		"bursty":                            "burst",
+		"hetero:default=0.001":              "nodemap",
+		"deterministic-interval:period=100": "interval",
+	} {
+		src, err := NewSource(alias, env)
+		if err != nil {
+			t.Errorf("alias %q: %v", alias, err)
+			continue
+		}
+		if !strings.HasPrefix(src.Name(), name) {
+			t.Errorf("alias %q built %q, want %s*", alias, src.Name(), name)
+		}
+	}
+}
+
+func TestRegistryListings(t *testing.T) {
+	wantSources := []string{"burst", "interval", "nodemap", "poisson", "replay"}
+	gotSources := SourceNames()
+	for _, w := range wantSources {
+		found := false
+		for _, g := range gotSources {
+			if g == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("source %q not listed in %v", w, gotSources)
+		}
+	}
+	wantPatterns := []string{"bitrev", "hotspot", "transpose", "uniform", "weights"}
+	gotPatterns := PatternNames()
+	for _, w := range wantPatterns {
+		found := false
+		for _, g := range gotPatterns {
+			if g == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("pattern %q not listed in %v", w, gotPatterns)
+		}
+	}
+	for _, info := range append(Sources(), Patterns()...) {
+		if info.Usage == "" || info.Description == "" {
+			t.Errorf("%q: empty usage or description", info.Name)
+		}
+	}
+	if _, ok := LookupSource("mmpp"); !ok {
+		t.Error("LookupSource alias mmpp failed")
+	}
+	if _, ok := LookupPattern("bit-reversal"); !ok {
+		t.Error("LookupPattern alias bit-reversal failed")
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate source registration did not panic")
+		}
+	}()
+	RegisterSource(Info{Name: "poisson"}, nil, func(env Env, spec Spec) (Source, error) { return nil, nil })
+}

@@ -1,9 +1,22 @@
-// Package traffic generates the synthetic workloads of the paper's
-// evaluation (§5.1): every healthy node generates messages independently,
-// following a Poisson process with mean rate λ messages/node/cycle, with
-// fixed message length and a configurable destination pattern (the paper
-// uses uniformly random destinations; transpose and hotspot are provided
-// for the extended experiments).
+// Package traffic generates the simulator's workloads. A workload is the
+// product of two pluggable, string-keyed pieces mirroring the routing
+// registry:
+//
+//   - a Pattern — the spatial destination distribution (uniform, transpose,
+//     hotspot, bit-reversal, per-node weighted map), and
+//   - a Source — the temporal arrival process (poisson, deterministic
+//     interval, MMPP on/off bursty, per-node heterogeneous rates, and
+//     trace replay of captured (cycle,src,dst,len) records).
+//
+// Both sides parse from specs like "hotspot:frac=0.1,node=12" and
+// "burst:on=50,off=200,rate=0.02" (see ParseSpec) and are built through
+// NewPattern/NewSource; new patterns and sources plug in with a
+// RegisterPattern/RegisterSource call.
+//
+// The paper's evaluation workload (§5.1) is the default pairing: every
+// healthy node generates messages independently following a Poisson process
+// with mean rate λ messages/node/cycle, fixed message length, uniformly
+// random destinations.
 package traffic
 
 import (
@@ -115,10 +128,13 @@ func (p *Hotspot) Pick(src topology.NodeID, r *rng.Stream) topology.NodeID {
 	return p.Base.Pick(src, r)
 }
 
-// arrival is a scheduled message generation event at a node.
+// arrival is a scheduled message generation event at a node. idx is the
+// node's position in the source's generating-node slice (used by sources
+// with per-node state; the Poisson generator ignores it).
 type arrival struct {
 	at   int64
 	node topology.NodeID
+	idx  int
 }
 
 type arrivalHeap []arrival
@@ -139,6 +155,10 @@ func (h arrivalHeap) Peek() (arrival, bool) {
 // source of rate Lambda messages/cycle. Arrival times are pre-scheduled per
 // node on an event heap, so per-cycle cost is proportional to the number of
 // arrivals, not the number of nodes.
+//
+// It is the seed's pre-registry implementation, kept as the reference the
+// registry's "poisson" source (NewPoisson, on the schedSource chassis) is
+// proven bit-identical against by TestRegistrySourceMatchesLegacyGenerator.
 type Generator struct {
 	t       *topology.Torus
 	lambda  float64
@@ -163,9 +183,9 @@ func NewGenerator(t *topology.Torus, sources []topology.NodeID, lambda float64, 
 	}
 	g := &Generator{t: t, lambda: lambda, msgLen: msgLen, mode: mode, pattern: pattern, r: r}
 	mean := 1.0 / lambda
-	for _, src := range sources {
+	for i, src := range sources {
 		// First arrival at an exponential offset: stationary start.
-		g.heap = append(g.heap, arrival{at: int64(r.Exp(mean)) + 1, node: src})
+		g.heap = append(g.heap, arrival{at: int64(r.Exp(mean)) + 1, node: src, idx: i})
 	}
 	heap.Init(&g.heap)
 	return g
@@ -191,9 +211,12 @@ func (g *Generator) Poll(now int64) []*message.Message {
 		if gap < 1 {
 			gap = 1
 		}
-		heap.Push(&g.heap, arrival{at: top.at + gap, node: top.node})
+		heap.Push(&g.heap, arrival{at: top.at + gap, node: top.node, idx: top.idx})
 	}
 }
+
+// Name implements Source.
+func (g *Generator) Name() string { return "poisson" }
 
 // Created returns the total number of messages generated so far.
 func (g *Generator) Created() uint64 { return g.created }
