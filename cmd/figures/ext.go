@@ -46,7 +46,7 @@ func (h *harness) extSizes() {
 			}
 		}
 	}
-	res := h.run(points)
+	res := h.run("Ext A sizes", points)
 	var cols []string
 	type curve struct {
 		c   netCase
@@ -95,7 +95,7 @@ func (h *harness) extPatterns() {
 			}
 		}
 	}
-	res := h.run(points)
+	res := h.run("Ext B patterns", points)
 	var cols []string
 	type curve struct {
 		p, alg string
@@ -143,7 +143,7 @@ func (h *harness) extSources() {
 			}
 		}
 	}
-	res := h.run(points)
+	res := h.run("Ext C sources", points)
 	var cols []string
 	type curve struct {
 		s, alg string

@@ -1,12 +1,15 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/metrics"
 	"repro/internal/routing"
+	"repro/internal/sweep"
 	"repro/internal/topology"
 	"repro/internal/viz"
 )
@@ -77,7 +80,7 @@ func (h *harness) latencyFigure(figName string, k, n int, vs []int, ms []int, nf
 					}
 				}
 			}
-			res := h.run(points)
+			res := h.run(fmt.Sprintf("%s %s v%d", figName, algName, v), points)
 			var cols []string
 			type curve struct{ m, nf int }
 			var curves []curve
@@ -92,17 +95,31 @@ func (h *harness) latencyFigure(figName string, k, n int, vs []int, ms []int, nf
 				rows[i] = fmt.Sprintf("%g", l)
 			}
 			// vals[ci][ri]: mean latency (NaN = missing); satMask flags
-			// points where at least half the placements saturated.
+			// points where at least half the placements saturated;
+			// skipMask flags cells whose points all belong to other
+			// shards; partialMask flags cells averaged over only the
+			// placements this shard owns (a shard splits each cell's
+			// seeds, so a plain number would be indistinguishable from
+			// the complete post-merge average).
 			vals := make([][]float64, len(curves))
 			satMask := make([][]bool, len(curves))
+			skipMask := make([][]bool, len(curves))
+			partialMask := make([][]bool, len(curves))
 			for ci, cu := range curves {
 				vals[ci] = make([]float64, len(grid))
 				satMask[ci] = make([]bool, len(grid))
+				skipMask[ci] = make([]bool, len(grid))
+				partialMask[ci] = make([]bool, len(grid))
 				for ri := range grid {
-					sum, cnt, sat := 0.0, 0, 0
+					sum, cnt, sat, skipped, failed := 0.0, 0, 0, 0, 0
 					for s := 0; s < seedsFor(cu.nf); s++ {
 						r, ok := res[label(cu.m, cu.nf, grid[ri], s)]
 						if !ok || r.Err != nil {
+							if ok && errors.Is(r.Err, sweep.ErrSkipped) {
+								skipped++
+							} else {
+								failed++
+							}
 							continue
 						}
 						if r.Results.Saturated {
@@ -113,10 +130,14 @@ func (h *harness) latencyFigure(figName string, k, n int, vs []int, ms []int, nf
 					}
 					if cnt == 0 {
 						vals[ci][ri] = math.NaN()
+						// "-" promises the merge will fill the cell in; a
+						// real failure among the owned points must stay "err".
+						skipMask[ci][ri] = skipped > 0 && failed == 0
 						continue
 					}
 					vals[ci][ri] = sum / float64(cnt)
 					satMask[ci][ri] = 2*sat >= cnt
+					partialMask[ci][ri] = skipped > 0
 				}
 			}
 			printTable(
@@ -124,14 +145,21 @@ func (h *harness) latencyFigure(figName string, k, n int, vs []int, ms []int, nf
 				cols, rows,
 				func(ri, ci int) string {
 					v := vals[ci][ri]
+					var cell string
 					switch {
+					case skipMask[ci][ri]:
+						return skippedCell
 					case math.IsNaN(v):
 						return "err"
 					case satMask[ci][ri]:
-						return fmt.Sprintf("%.0f*", v)
+						cell = fmt.Sprintf("%.0f*", v)
 					default:
-						return fmt.Sprintf("%.1f", v)
+						cell = fmt.Sprintf("%.1f", v)
 					}
+					if partialMask[ci][ri] {
+						cell += partialMark
+					}
+					return cell
 				})
 			if h.plot {
 				ch := viz.NewChart(grid, 6, 14)
@@ -190,7 +218,7 @@ func (h *harness) fig5() {
 			}
 		}
 	}
-	res := h.run(points)
+	res := h.run("Fig 5 shapes", points)
 	var cols []string
 	type curve struct{ routing, shape string }
 	var curves []curve
@@ -273,24 +301,17 @@ func (h *harness) fig6() {
 			}
 		}
 	}
-	res := h.run(points)
+	res := h.run("Fig 6 throughput", points)
 	fmt.Printf("\n== Fig 6: throughput (messages/node/cycle) at offered λ=%g ==\n", lambda)
 	fmt.Printf("%-8s%14s%14s\n", "nf", "deterministic", "adaptive")
 	for _, nf := range nfs {
-		avg := func(routing string) float64 {
-			sum, n := 0.0, 0
-			for s := 0; s < h.seeds; s++ {
-				if r, ok := res[label(routing, nf, s)]; ok && r.Err == nil {
-					sum += r.Results.Throughput
-					n++
-				}
-			}
-			if n == 0 {
-				return 0
-			}
-			return sum / float64(n)
+		cell := func(routing string) string {
+			return h.seedCell(
+				func(s int) (core.PointResult, bool) { r, ok := res[label(routing, nf, s)]; return r, ok },
+				func(m metrics.Results) (float64, bool) { return m.Throughput, true },
+				"%.5f")
 		}
-		fmt.Printf("%-8d%14.5f%14.5f\n", nf, avg("det"), avg("adp"))
+		fmt.Printf("%-8d%14s%14s\n", nf, cell("det"), cell("adp"))
 	}
 }
 
@@ -324,25 +345,22 @@ func (h *harness) fig7() {
 			}
 		}
 	}
-	res := h.run(points)
+	res := h.run("Fig 7 queued", points)
 	fmt.Println("\n== Fig 7: messages queued, scaled to per-100k-messages (paper's protocol) ==")
 	fmt.Printf("%-8s%16s%16s%16s%16s\n", "nf", "adp g=100", "det g=100", "adp g=70", "det g=70")
 	for _, nf := range nfs {
-		avg := func(routing string, rate int) float64 {
-			sum, n := 0.0, 0
-			for s := 0; s < h.seeds; s++ {
-				if r, ok := res[label(routing, rate, nf, s)]; ok && r.Err == nil && r.Results.Delivered > 0 {
-					scaled := float64(r.Results.QueuedTotal()) / float64(r.Results.Delivered) * 100000
-					sum += scaled
-					n++
-				}
-			}
-			if n == 0 {
-				return 0
-			}
-			return sum / float64(n)
+		cell := func(routing string, rate int) string {
+			return h.seedCell(
+				func(s int) (core.PointResult, bool) { r, ok := res[label(routing, rate, nf, s)]; return r, ok },
+				func(m metrics.Results) (float64, bool) {
+					if m.Delivered == 0 {
+						return 0, false
+					}
+					return float64(m.QueuedTotal()) / float64(m.Delivered) * 100000, true
+				},
+				"%.0f")
 		}
-		fmt.Printf("%-8d%16.0f%16.0f%16.0f%16.0f\n", nf,
-			avg("adp", 100), avg("det", 100), avg("adp", 70), avg("det", 70))
+		fmt.Printf("%-8d%16s%16s%16s%16s\n", nf,
+			cell("adp", 100), cell("det", 100), cell("adp", 70), cell("det", 70))
 	}
 }

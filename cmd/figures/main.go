@@ -1,6 +1,8 @@
 // Command figures regenerates every figure of the paper's evaluation
 // section (Figs. 1, 3, 4, 5, 6, 7) from the simulator, printing the same
-// rows/series the paper plots.
+// rows/series the paper plots, plus extended experiments and a
+// saturation-point capacity table. See FIGURES.md for the full
+// figure-by-figure reproduction guide.
 //
 //	figures -fig 3              # mean latency vs traffic, 8-ary 2-cube
 //	figures -fig 6 -seeds 5     # throughput vs faults, averaged placements
@@ -8,25 +10,43 @@
 //
 // Scales: quick (2k measured messages/point), default (10k), full (90k —
 // the paper's 100,000-message protocol).
+//
+// Long runs checkpoint and shard through the sweep subsystem: with
+// -checkpoint, every completed point is journalled and a re-run (after a
+// crash, SIGKILL, or preemption) resumes instead of recomputing; with
+// -shard i/n, independent processes or hosts each run a slice of the
+// same figure; -merge combines shard journals, after which a final run
+// renders the complete tables entirely from the checkpoint:
+//
+//	figures -fig 3 -scale full -shard 0/2 -checkpoint s0.jsonl   # host A
+//	figures -fig 3 -scale full -shard 1/2 -checkpoint s1.jsonl   # host B
+//	figures -fig 3 -scale full -checkpoint all.jsonl -merge s0.jsonl,s1.jsonl
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sweep"
 )
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 1|3|4|5|6|7|ext|all")
-		scale   = flag.String("scale", "default", "measurement scale: quick|default|full")
-		workers = flag.Int("workers", 0, "sweep workers (0 = GOMAXPROCS)")
-		seeds   = flag.Int("seeds", 3, "random fault placements averaged across figures")
-		csv     = flag.Bool("csv", false, "also print raw CSV rows per point")
-		plot    = flag.Bool("plot", false, "render ASCII charts under the latency tables")
+		fig        = flag.String("fig", "all", "figure to regenerate: 1|3|4|5|6|7|ext|sat|all")
+		scale      = flag.String("scale", "default", "measurement scale: quick|default|full")
+		workers    = flag.Int("workers", 0, "sweep workers (0 = GOMAXPROCS)")
+		seeds      = flag.Int("seeds", 3, "random fault placements averaged across figures")
+		csv        = flag.Bool("csv", false, "also print raw CSV rows per point")
+		plot       = flag.Bool("plot", false, "render ASCII charts under the latency tables")
+		checkpoint = flag.String("checkpoint", "", "JSONL checkpoint journal: completed points are skipped on re-run")
+		shardSpec  = flag.String("shard", "", "run only shard i of n ('i/n') of each figure's sweep")
+		mergeList  = flag.String("merge", "", "comma-separated shard journals to merge into -checkpoint before rendering")
 	)
 	flag.Parse()
 
@@ -35,7 +55,29 @@ func main() {
 		fmt.Fprintf(os.Stderr, "figures: unknown scale %q\n", *scale)
 		os.Exit(2)
 	}
-	h := &harness{scale: sc, workers: *workers, seeds: *seeds, csv: *csv, plot: *plot}
+	shard, err := sweep.ParseShard(*shardSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+		os.Exit(2)
+	}
+	if shard.Count > 1 && *checkpoint == "" {
+		fmt.Fprintln(os.Stderr, "figures: -shard requires -checkpoint (without a journal the shard's results cannot be merged)")
+		os.Exit(2)
+	}
+	if *mergeList != "" {
+		if *checkpoint == "" {
+			fmt.Fprintln(os.Stderr, "figures: -merge requires -checkpoint (the journal to merge into)")
+			os.Exit(2)
+		}
+		total, err := sweep.MergeJournals(*checkpoint, strings.Split(*mergeList, ",")...)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "figures: merged into %s (%d distinct points)\n", *checkpoint, total)
+	}
+	h := &harness{scale: sc, workers: *workers, seeds: *seeds, csv: *csv, plot: *plot,
+		checkpoint: *checkpoint, shard: shard}
 
 	start := time.Now()
 	switch *fig {
@@ -53,6 +95,8 @@ func main() {
 		h.fig7()
 	case "ext":
 		h.figExt()
+	case "sat":
+		h.figSat()
 	case "all":
 		h.fig1()
 		h.fig3()
@@ -61,9 +105,14 @@ func main() {
 		h.fig6()
 		h.fig7()
 		h.figExt()
+		h.figSat()
 	default:
 		fmt.Fprintf(os.Stderr, "figures: unknown figure %q\n", *fig)
 		os.Exit(2)
+	}
+	if h.shard.Count > 1 {
+		fmt.Fprintf(os.Stderr, "figures: shard %s complete; until the other shards' journals are merged (-merge), cells they own render as %q and cells averaged from this shard's placements only are marked %q\n",
+			h.shard, skippedCell, partialMark)
 	}
 	fmt.Printf("\n(total wall time %v)\n", time.Since(start).Round(time.Second))
 }
@@ -82,11 +131,13 @@ var scales = map[string]scaleSpec{
 }
 
 type harness struct {
-	scale   scaleSpec
-	workers int
-	seeds   int
-	csv     bool
-	plot    bool
+	scale      scaleSpec
+	workers    int
+	seeds      int
+	csv        bool
+	plot       bool
+	checkpoint string
+	shard      sweep.Shard
 }
 
 // lambdaGrid returns the traffic-rate axis used for a V value, mirroring
@@ -121,16 +172,29 @@ func (h *harness) base(k, n int, lambda float64) core.Config {
 	return c
 }
 
-// run executes points and indexes results by label.
-func (h *harness) run(points []core.Point) map[string]core.PointResult {
-	res := core.RunSweep(points, h.workers)
+// sweepOptions assembles the checkpoint/shard/worker options shared by
+// every figure's sweep.
+func (h *harness) sweepOptions() sweep.Options {
+	return sweep.Options{Workers: h.workers, Checkpoint: h.checkpoint, Shard: h.shard, Log: os.Stderr}
+}
+
+// run executes the named figure sweep through the sweep subsystem
+// (resumable via -checkpoint, splittable via -shard) and indexes results
+// by label. Points owned by other shards carry sweep.ErrSkipped and
+// render as skippedCell.
+func (h *harness) run(name string, points []core.Point) map[string]core.PointResult {
+	res, err := sweep.Run(sweep.Plan{Name: name, Points: points}, h.sweepOptions())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "figures: %s: %v\n", name, err)
+		os.Exit(1)
+	}
 	out := make(map[string]core.PointResult, len(res))
 	for _, r := range res {
-		if r.Err != nil {
+		if r.Err != nil && !errors.Is(r.Err, sweep.ErrSkipped) {
 			fmt.Fprintf(os.Stderr, "figures: point %s: %v\n", r.Label, r.Err)
 		}
 		out[r.Label] = r
-		if h.csv {
+		if h.csv && r.Err == nil {
 			fmt.Printf("csv,%s,%.2f,%.6f,%d,%d,%v\n", r.Label,
 				r.Results.MeanLatency, r.Results.Throughput,
 				r.Results.QueuedFault, r.Results.QueuedVia, r.Results.Saturated)
@@ -139,9 +203,59 @@ func (h *harness) run(points []core.Point) map[string]core.PointResult {
 	return out
 }
 
+// skippedCell marks a table cell whose points all belong to another
+// shard and have not been merged into this run's checkpoint yet;
+// partialMark is appended to a cell averaged over only the placements
+// this shard owns (a shard splits each cell's seeds, so the value will
+// shift once the other shards' journals are merged in).
+const (
+	skippedCell = "-"
+	partialMark = "?"
+)
+
+// seedCell averages one metric over a table cell's seeded fault
+// placements, rendering the shard states consistently: skippedCell when
+// every missing placement belongs to another shard, "err" when any
+// owned placement failed and none succeeded, and a partialMark suffix
+// when the average covers only this shard's placements. lookup fetches
+// the result for seed s; value extracts the metric (ok=false drops that
+// placement, e.g. a run that delivered nothing); format renders the
+// average.
+func (h *harness) seedCell(lookup func(s int) (core.PointResult, bool), value func(metrics.Results) (float64, bool), format string) string {
+	sum, n, skipped, failed := 0.0, 0, 0, 0
+	for s := 0; s < h.seeds; s++ {
+		r, ok := lookup(s)
+		switch {
+		case ok && r.Err == nil:
+			if v, vok := value(r.Results); vok {
+				sum += v
+				n++
+			}
+		case ok && errors.Is(r.Err, sweep.ErrSkipped):
+			skipped++
+		default:
+			failed++
+		}
+	}
+	if n == 0 {
+		if skipped > 0 && failed == 0 {
+			return skippedCell
+		}
+		return "err"
+	}
+	cell := fmt.Sprintf(format, sum/float64(n))
+	if skipped > 0 {
+		cell += partialMark
+	}
+	return cell
+}
+
 // latencyCell formats one latency entry; saturated points are flagged the
 // way the paper's curves go vertical.
 func latencyCell(r core.PointResult) string {
+	if errors.Is(r.Err, sweep.ErrSkipped) {
+		return skippedCell
+	}
 	if r.Err != nil {
 		return "err"
 	}

@@ -1,5 +1,5 @@
-// Command swsim runs one Software-Based routing simulation point and prints
-// a result row. The routing algorithm, destination pattern and arrival
+// Command swsim runs Software-Based routing simulation points and prints
+// result rows. The routing algorithm, destination pattern and arrival
 // process are all selected by registry spec (-alg, -pattern, -traffic;
 // -list enumerates everything available).
 //
@@ -13,17 +13,39 @@
 //	swsim -k 8 -n 2 -v 4 -m 32 -lambda 0.006 -workload-out w.csv
 //	swsim -k 8 -n 2 -v 4 -m 32 -traffic 'replay:file=w.csv'
 //	swsim -k 8 -n 2 -v 10 -m 32 -lambda 0.012 -shape U -warmup 10000 -measure 90000
+//
+// With -sweep, swsim runs one point per λ of a grid through the sweep
+// subsystem: -checkpoint makes the run resumable after interruption,
+// -shard splits it across processes, and -merge combines shard journals:
+//
+//	swsim -sweep 0.002:0.014:0.002 -k 8 -n 2 -v 4
+//	swsim -sweep 0.002:0.014:0.002 -checkpoint sweep.jsonl   # kill and re-run freely
+//	swsim -sweep 0.002:0.014:0.002 -shard 0/2 -checkpoint s0.jsonl &
+//	swsim -sweep 0.002:0.014:0.002 -shard 1/2 -checkpoint s1.jsonl &
+//	swsim -sweep 0.002:0.014:0.002 -checkpoint all.jsonl -merge s0.jsonl,s1.jsonl
+//
+// -find-sat replaces the λ grid with a bisection auto-search for the
+// saturation point (the λ where mean latency crosses -sat-factor times
+// the zero-load latency):
+//
+//	swsim -find-sat -k 8 -n 2 -v 6 -alg adaptive
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/metrics"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 )
 
@@ -50,6 +72,14 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "random seed")
 		quiet    = flag.Bool("q", false, "print only the CSV row")
 		jsonOut  = flag.Bool("json", false, "emit config and results as JSON instead of CSV")
+
+		sweepGrid  = flag.String("sweep", "", "λ sweep instead of a single point: comma list '0.002,0.004' or range 'lo:hi:step'")
+		checkpoint = flag.String("checkpoint", "", "JSONL checkpoint journal: completed points are skipped on re-run (sweep/find-sat modes)")
+		shardSpec  = flag.String("shard", "", "run only shard i of n ('i/n') of the sweep; journals merge via -merge")
+		mergeList  = flag.String("merge", "", "comma-separated shard journals to merge into -checkpoint before running")
+		workers    = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
+		findSat    = flag.Bool("find-sat", false, "bisection auto-search for the saturation λ instead of a fixed grid")
+		satFactor  = flag.Float64("sat-factor", 3, "saturation threshold as a multiple of zero-load latency (with -find-sat)")
 	)
 	flag.Parse()
 
@@ -91,6 +121,77 @@ func main() {
 			os.Exit(2)
 		}
 		cfg.Faults.Shapes = []core.ShapeStamp{{Spec: spec, DimA: 0, DimB: 1}}
+	}
+
+	// Validate the flag combination fully before -merge mutates the
+	// checkpoint journal: a rejected invocation must have no side effects.
+	shard, err := sweep.ParseShard(*shardSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "swsim: %v\n", err)
+		os.Exit(2)
+	}
+	if *wlOut != "" && (*findSat || *sweepGrid != "") {
+		fmt.Fprintln(os.Stderr, "swsim: -workload-out applies to single-point runs only")
+		os.Exit(2)
+	}
+	if *mergeList != "" && *checkpoint == "" {
+		fmt.Fprintln(os.Stderr, "swsim: -merge requires -checkpoint (the journal to merge into)")
+		os.Exit(2)
+	}
+	if shard.Count > 1 && *checkpoint == "" {
+		fmt.Fprintln(os.Stderr, "swsim: -shard requires -checkpoint (without a journal the shard's results cannot be merged)")
+		os.Exit(2)
+	}
+	if *findSat && *sweepGrid != "" {
+		fmt.Fprintln(os.Stderr, "swsim: -find-sat and -sweep are mutually exclusive (the search picks its own λ probes)")
+		os.Exit(2)
+	}
+	if *findSat && shard.Count > 1 {
+		fmt.Fprintln(os.Stderr, "swsim: -find-sat cannot be sharded (each probe depends on the previous one); run it unsharded with -checkpoint to make it resumable")
+		os.Exit(2)
+	}
+	// Sweep-only flags given without a sweep mode would be silently
+	// ignored by the single-point path — reject them instead, so a
+	// forgotten -sweep cannot burn a shard's compute without journalling
+	// anything. (-checkpoint without -sweep is still valid alongside
+	// -merge: that is the merge-and-exit flow.)
+	if *sweepGrid == "" && !*findSat {
+		if shard.Count > 1 {
+			fmt.Fprintln(os.Stderr, "swsim: -shard applies to -sweep mode only (did you forget -sweep?)")
+			os.Exit(2)
+		}
+		if *checkpoint != "" && *mergeList == "" {
+			fmt.Fprintln(os.Stderr, "swsim: -checkpoint applies to -sweep, -find-sat and -merge modes only (did you forget -sweep?)")
+			os.Exit(2)
+		}
+	}
+	var grid []float64
+	if *sweepGrid != "" {
+		grid, err = parseGrid(*sweepGrid)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "swsim: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	opt := sweep.Options{Workers: *workers, Checkpoint: *checkpoint, Shard: shard, Log: os.Stderr}
+	if *mergeList != "" {
+		total, err := sweep.MergeJournals(*checkpoint, strings.Split(*mergeList, ",")...)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "swsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "swsim: merged into %s (%d distinct points)\n", *checkpoint, total)
+		if *sweepGrid == "" && !*findSat {
+			return
+		}
+	}
+	if *findSat {
+		runFindSat(cfg, opt, *satFactor, *quiet, *jsonOut)
+		return
+	}
+	if *sweepGrid != "" {
+		runSweepGrid(cfg, grid, opt, *quiet, *jsonOut)
+		return
 	}
 
 	start := time.Now()
@@ -136,11 +237,162 @@ func main() {
 		fmt.Printf("# %d-ary %d-cube, %s routing, V=%d, M=%d flits, λ=%g, traffic=%s, pattern=%s, faults=%d%s\n",
 			*k, *n, algName, *v, *m, *lambda, cfg.TrafficSpec(), cfg.PatternSpec(), *faults, shapeNote(*shape))
 		fmt.Printf("# wall time: %v, simulated cycles: %d\n", elapsed.Round(time.Millisecond), res.Cycles)
-		fmt.Println("lambda,mean_latency,ci95,p50,p95,p99,throughput,accepted,delivered,queued_fault,queued_via,saturated")
+		fmt.Println(csvHeader)
 	}
-	fmt.Printf("%g,%.2f,%.2f,%.0f,%.0f,%.0f,%.6f,%.4f,%d,%d,%d,%v\n",
-		*lambda, res.MeanLatency, res.LatencyCI95, res.P50, res.P95, res.P99,
+	fmt.Println(csvRow(*lambda, res))
+}
+
+// csvHeader and csvRow define the one-row-per-point output format shared
+// by single-point and sweep modes, so a sharded-and-merged sweep's
+// output diffs clean against a single-process run.
+const csvHeader = "lambda,mean_latency,ci95,p50,p95,p99,throughput,accepted,delivered,queued_fault,queued_via,saturated"
+
+func csvRow(lambda float64, res metrics.Results) string {
+	return fmt.Sprintf("%g,%.2f,%.2f,%.0f,%.0f,%.0f,%.6f,%.4f,%d,%d,%d,%v",
+		lambda, res.MeanLatency, res.LatencyCI95, res.P50, res.P95, res.P99,
 		res.Throughput, res.AcceptedFraction, res.Delivered, res.QueuedFault, res.QueuedVia, res.Saturated)
+}
+
+// parseGrid parses the -sweep argument: either an explicit comma list
+// ("0.002,0.004,0.006") or an inclusive range with step ("lo:hi:step").
+func parseGrid(s string) ([]float64, error) {
+	if strings.Contains(s, ":") {
+		lo, hi, step, err := parseRange(s)
+		if err != nil {
+			return nil, err
+		}
+		var grid []float64
+		// Generate from integer multiples so float accumulation error
+		// cannot drop or duplicate the final point; the epsilon only
+		// absorbs rounding, never admits a point past hi.
+		for i := 0; ; i++ {
+			l := lo + float64(i)*step
+			if l > hi+step*1e-9 {
+				break
+			}
+			grid = append(grid, l)
+		}
+		return grid, nil
+	}
+	var grid []float64
+	for _, part := range strings.Split(s, ",") {
+		l, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		// Negated comparison so NaN (every comparison false) is rejected.
+		if err != nil || !(l > 0) || math.IsInf(l, 1) {
+			return nil, fmt.Errorf("bad sweep value %q (want a positive rate)", part)
+		}
+		grid = append(grid, l)
+	}
+	return grid, nil
+}
+
+func parseRange(s string) (lo, hi, step float64, err error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return 0, 0, 0, fmt.Errorf("bad sweep range %q (want lo:hi:step)", s)
+	}
+	var vals [3]float64
+	for i, p := range parts {
+		v, perr := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		// Negated comparisons reject NaN; IsInf rejects +Inf bounds that
+		// would otherwise generate points forever.
+		if perr != nil || !(v > 0) || math.IsInf(v, 1) {
+			return 0, 0, 0, fmt.Errorf("bad sweep range %q (want positive finite lo:hi:step)", s)
+		}
+		vals[i] = v
+	}
+	if vals[1] < vals[0] {
+		return 0, 0, 0, fmt.Errorf("bad sweep range %q (hi below lo)", s)
+	}
+	return vals[0], vals[1], vals[2], nil
+}
+
+// runSweepGrid runs one point per λ of the grid through the sweep
+// subsystem and prints rows in grid order. Points owned by other shards
+// (and absent from the checkpoint) are omitted from the output.
+func runSweepGrid(base core.Config, grid []float64, opt sweep.Options, quiet, jsonOut bool) {
+	plan := sweep.Plan{Name: "swsim", Points: make([]core.Point, len(grid))}
+	for i, l := range grid {
+		cfg := base
+		cfg.Lambda = l
+		plan.Points[i] = core.Point{Label: fmt.Sprintf("swsim|l%g", l), Config: cfg}
+	}
+	start := time.Now()
+	results, err := sweep.Run(plan, opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "swsim: %v\n", err)
+		os.Exit(1)
+	}
+	if !quiet && !jsonOut {
+		fmt.Printf("# %d-ary %d-cube, %s routing, V=%d, M=%d flits, traffic=%s, pattern=%s, faults=%d: %d-point sweep (wall time %v)\n",
+			base.K, base.N, base.AlgorithmName(), base.V, base.MsgLen,
+			base.TrafficSpec(), base.PatternSpec(), base.Faults.RandomNodes,
+			len(grid), time.Since(start).Round(time.Millisecond))
+		fmt.Println(csvHeader)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	failed := 0
+	for i, pr := range results {
+		if errors.Is(pr.Err, sweep.ErrSkipped) {
+			continue
+		}
+		if pr.Err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "swsim: point %s: %v\n", pr.Label, pr.Err)
+			continue
+		}
+		if jsonOut {
+			if err := enc.Encode(struct {
+				Config  core.Config
+				Results metrics.Results
+			}{pr.Config, pr.Results}); err != nil {
+				fmt.Fprintf(os.Stderr, "swsim: %v\n", err)
+				os.Exit(1)
+			}
+			continue
+		}
+		fmt.Println(csvRow(grid[i], pr.Results))
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// runFindSat bisects for the saturation λ of the configured point.
+func runFindSat(base core.Config, opt sweep.Options, factor float64, quiet, jsonOut bool) {
+	sat, err := sweep.FindSaturation("swsim", base, sweep.SaturationOptions{
+		Factor: factor,
+		Run:    opt,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "swsim: %v\n", err)
+		os.Exit(1)
+	}
+	if !sat.Converged {
+		fmt.Fprintf(os.Stderr, "swsim: warning: probe budget exhausted; bracket [%.6g, %.6g] is wider than requested\n", sat.Lo, sat.Hi)
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sat); err != nil {
+			fmt.Fprintf(os.Stderr, "swsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if !quiet {
+		fmt.Printf("# %d-ary %d-cube, %s routing, V=%d, M=%d flits: saturation search (%d probes)\n",
+			base.K, base.N, base.AlgorithmName(), base.V, base.MsgLen, len(sat.Probes))
+		for _, pr := range sat.Probes {
+			note := ""
+			if pr.Results.Saturated {
+				note = " (saturated)"
+			}
+			fmt.Printf("#   probe λ=%-10.6g latency %.1f%s\n", pr.Config.Lambda, pr.Results.MeanLatency, note)
+		}
+		fmt.Println("saturation_lambda,bracket_lo,bracket_hi,zero_load_latency,threshold")
+	}
+	fmt.Printf("%.6g,%.6g,%.6g,%.2f,%.2f\n", sat.Lambda, sat.Lo, sat.Hi, sat.ZeroLoad, sat.Threshold)
 }
 
 // algExplicit reports whether -alg was passed on the command line (as

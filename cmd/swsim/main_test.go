@@ -1,0 +1,57 @@
+package main
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseGrid(t *testing.T) {
+	for _, tc := range []struct {
+		in      string
+		want    []float64
+		wantErr bool
+	}{
+		{in: "0.002,0.004,0.006", want: []float64{0.002, 0.004, 0.006}},
+		{in: " 0.002 , 0.004 ", want: []float64{0.002, 0.004}},
+		{in: "0.002:0.008:0.002", want: []float64{0.002, 0.004, 0.006, 0.008}},
+		// hi not on the grid: stop below it, never overshoot.
+		{in: "0.002:0.009:0.004", want: []float64{0.002, 0.006}},
+		{in: "0.005:0.005:0.001", want: []float64{0.005}},
+		{in: "", wantErr: true},
+		{in: "0", wantErr: true},
+		{in: "-0.004", wantErr: true},
+		{in: "abc", wantErr: true},
+		{in: "nan", wantErr: true},
+		{in: "0.002,nan", wantErr: true},
+		{in: "+Inf", wantErr: true},
+		{in: "0.001:nan:0.002", wantErr: true},  // NaN hi would loop forever
+		{in: "0.001:+Inf:0.002", wantErr: true}, // Inf hi would loop forever
+		{in: "nan:0.01:0.002", wantErr: true},
+		{in: "0.001:0.01:nan", wantErr: true},
+		{in: "0.01:0.001:0.002", wantErr: true}, // hi below lo
+		{in: "0.001:0.01", wantErr: true},
+		{in: "0.001:0.01:0.002:9", wantErr: true},
+		{in: "0.001:0.01:-0.002", wantErr: true},
+	} {
+		got, err := parseGrid(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("parseGrid(%q): want error, got %v", tc.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseGrid(%q): %v", tc.in, err)
+			continue
+		}
+		if len(got) != len(tc.want) {
+			t.Errorf("parseGrid(%q) = %v, want %v", tc.in, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if math.Abs(got[i]-tc.want[i]) > 1e-12 {
+				t.Errorf("parseGrid(%q)[%d] = %g, want %g", tc.in, i, got[i], tc.want[i])
+			}
+		}
+	}
+}

@@ -2,25 +2,37 @@
 // throughput as faults accumulate, deterministic vs adaptive Software-Based
 // routing — and print the two series side by side.
 //
+// The points run as one plan through the sweep subsystem, so they fan out
+// over all cores; pass a journal path as the first argument to make the
+// run resumable (kill it mid-way and re-run: finished points replay from
+// the journal).
+//
 //	go run ./examples/adaptive_vs_det
+//	go run ./examples/adaptive_vs_det /tmp/avd.jsonl
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"repro/internal/core"
+	"repro/internal/sweep"
 )
 
 func main() {
 	// A 16-ary 2-cube offered load past its saturation point, so measured
 	// throughput is the network's delivery capacity (Fig. 6's protocol).
 	const lambda = 0.012
-	fmt.Println("Throughput (messages/node/cycle) vs random faulty nodes, 16-ary 2-cube, M=32, V=6:")
-	fmt.Printf("%-6s %14s %14s\n", "nf", "deterministic", "adaptive")
+	algs := []string{"det", "adaptive"}
+	var nfs []int
 	for nf := 0; nf <= 10; nf += 2 {
-		var thr [2]float64
-		for i, alg := range []string{"det", "adaptive"} {
+		nfs = append(nfs, nf)
+	}
+
+	var points []core.Point
+	for _, nf := range nfs {
+		for _, alg := range algs {
 			cfg := core.DefaultConfig(16, 2, lambda)
 			cfg.V = 6
 			cfg.Algorithm = alg
@@ -30,13 +42,38 @@ func main() {
 			cfg.Seed = 7
 			cfg.SaturationBacklog = 1 << 30 // capacity measurement: run the full horizon
 			cfg.MaxCycles = 160_000
-			res, err := core.Run(cfg)
-			if err != nil {
-				log.Fatal(err)
-			}
-			thr[i] = res.Throughput
+			points = append(points, core.Point{
+				Label:  fmt.Sprintf("%s|nf%d", alg, nf),
+				Config: cfg,
+			})
 		}
-		fmt.Printf("%-6d %14.5f %14.5f\n", nf, thr[0], thr[1])
+	}
+	opt := sweep.Options{}
+	if len(os.Args) > 1 {
+		opt.Checkpoint = os.Args[1]
+		opt.Log = os.Stderr
+	}
+	prs, err := sweep.Run(sweep.Plan{Name: "adaptive_vs_det", Points: points}, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	results := map[string]core.PointResult{}
+	for _, pr := range prs {
+		results[pr.Label] = pr
+	}
+
+	fmt.Println("Throughput (messages/node/cycle) vs random faulty nodes, 16-ary 2-cube, M=32, V=6:")
+	fmt.Printf("%-6s %14s %14s\n", "nf", "deterministic", "adaptive")
+	for _, nf := range nfs {
+		cell := func(alg string) string {
+			pr := results[fmt.Sprintf("%s|nf%d", alg, nf)]
+			if pr.Err != nil {
+				fmt.Fprintf(os.Stderr, "point %s failed: %v\n", pr.Label, pr.Err)
+				return "err"
+			}
+			return fmt.Sprintf("%.5f", pr.Results.Throughput)
+		}
+		fmt.Printf("%-6d %14s %14s\n", nf, cell("det"), cell("adaptive"))
 	}
 	fmt.Println("\nAs in the paper's Fig. 6: throughput degrades only mildly with faults, and")
 	fmt.Println("adaptive routing outperforms deterministic because it avoids most absorptions.")

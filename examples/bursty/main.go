@@ -15,6 +15,7 @@ import (
 	"log"
 
 	"repro/internal/core"
+	"repro/internal/sweep"
 )
 
 func main() {
@@ -25,8 +26,9 @@ func main() {
 	fmt.Printf("8-ary 2-cube, det routing, V=4, M=32: Poisson vs MMPP bursts at equal offered load (%s)\n\n", burst)
 	fmt.Printf("%-10s%16s%16s%12s\n", "lambda", "poisson lat", "bursty lat", "ratio")
 
+	lambdas := []float64{0.002, 0.004, 0.006, 0.008}
 	var points []core.Point
-	for _, lambda := range []float64{0.002, 0.004, 0.006, 0.008} {
+	for _, lambda := range lambdas {
 		for _, traffic := range []string{"poisson", burst} {
 			cfg := core.DefaultConfig(k, n, lambda)
 			cfg.Traffic = traffic
@@ -39,25 +41,37 @@ func main() {
 			})
 		}
 	}
+	prs, err := sweep.Run(sweep.Plan{Name: "bursty", Points: points}, sweep.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	results := map[string]core.PointResult{}
-	for _, pr := range core.RunSweep(points, 0) {
+	for _, pr := range prs {
+		// Surface per-point failures in the table instead of aborting the
+		// example (or worse, tabulating a zero-value result as data).
 		if pr.Err != nil {
-			log.Fatalf("%s: %v", pr.Label, pr.Err)
+			fmt.Printf("point %s failed: %v\n", pr.Label, pr.Err)
 		}
 		results[pr.Label] = pr
 	}
 
 	cell := func(pr core.PointResult) string {
+		if pr.Err != nil {
+			return fmt.Sprintf("%15s", "err")
+		}
 		if pr.Results.Saturated {
 			return fmt.Sprintf("%13.1f *", pr.Results.MeanLatency)
 		}
 		return fmt.Sprintf("%15.1f", pr.Results.MeanLatency)
 	}
-	for _, lambda := range []float64{0.002, 0.004, 0.006, 0.008} {
+	for _, lambda := range lambdas {
 		p := results[fmt.Sprintf("poisson|%g", lambda)]
 		b := results[fmt.Sprintf("%s|%g", burst, lambda)]
-		fmt.Printf("%-10g%16s%16s%11.2fx\n", lambda, cell(p), cell(b),
-			b.Results.MeanLatency/p.Results.MeanLatency)
+		ratio := "-"
+		if p.Err == nil && b.Err == nil && p.Results.MeanLatency > 0 {
+			ratio = fmt.Sprintf("%.2fx", b.Results.MeanLatency/p.Results.MeanLatency)
+		}
+		fmt.Printf("%-10g%16s%16s%12s\n", lambda, cell(p), cell(b), ratio)
 	}
 	fmt.Println("\n(* = run hit the saturation guard before the delivery quota)")
 }

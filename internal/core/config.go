@@ -1,8 +1,11 @@
 // Package core is the library façade: a declarative Config describing one
 // simulation experiment (topology, routing, virtual channels, faults,
 // workload, measurement protocol), a Run function executing it on the
-// flit-level engine, and a parallel sweep runner for the multi-point
-// parameter sweeps behind every figure of the paper.
+// flit-level engine, and the parallel worker pool (RunSweep/RunSweepFunc)
+// behind the multi-point parameter sweeps of every figure of the paper.
+// Plan identity, checkpoint/resume, sharding and saturation search live a
+// layer up, in the sweep subsystem (repro/internal/sweep), which drives
+// the pool through RunSweepFunc.
 package core
 
 import (

@@ -72,6 +72,8 @@ func RunReplicated(cfg Config, r int, seedBase uint64, workers int) (Replicated,
 	return agg, nil
 }
 
+// String renders the aggregate as a one-line summary with confidence
+// half-widths, suitable for report rows.
 func (r Replicated) String() string {
 	return fmt.Sprintf("reps=%d (sat %d) latency=%.1f±%.1f thr=%.5f±%.5f queued/msg=%.3f±%.3f",
 		r.Replications, r.Saturated, r.MeanLatency, r.LatencyCI,

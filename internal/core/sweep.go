@@ -30,21 +30,43 @@ type PointResult struct {
 // identical to serial execution regardless of worker count. workers <= 0
 // uses GOMAXPROCS. A point that panics is reported through its
 // PointResult.Err; it never takes down the pool or the other points.
+//
+// RunSweep is the compatibility entry point kept for existing callers; it
+// is a thin shim over RunSweepFunc. New code that needs named plans,
+// checkpoint/resume, sharding or saturation search should go through the
+// sweep subsystem in internal/sweep, which builds on RunSweepFunc.
 func RunSweep(points []Point, workers int) []PointResult {
-	return runSweep(points, workers, Run)
+	return RunSweepFunc(points, workers, nil)
 }
 
-// runSweep is RunSweep with the per-point runner injected for testing.
-func runSweep(points []Point, workers int, run func(Config) (metrics.Results, error)) []PointResult {
+// RunSweepFunc is RunSweep with a completion callback: done (when non-nil)
+// is invoked once per point as it finishes, with the point's index into
+// points and its result. Calls to done are serialized (never concurrent),
+// but arrive in completion order, not index order — the sweep subsystem
+// uses this to journal each result the moment it exists, so an
+// interrupted sweep loses at most the points in flight.
+func RunSweepFunc(points []Point, workers int, done func(int, PointResult)) []PointResult {
+	return runSweep(points, workers, Run, done)
+}
+
+// runSweep is RunSweepFunc with the per-point runner injected for testing.
+func runSweep(points []Point, workers int, run func(Config) (metrics.Results, error), done func(int, PointResult)) []PointResult {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > len(points) {
 		workers = len(points)
 	}
+	var doneMu sync.Mutex
 	exec := func(i int) PointResult {
 		res, err := runPointSafe(points[i].Config, run)
-		return PointResult{Point: points[i], Results: res, Err: err}
+		r := PointResult{Point: points[i], Results: res, Err: err}
+		if done != nil {
+			doneMu.Lock()
+			done(i, r)
+			doneMu.Unlock()
+		}
+		return r
 	}
 	results := make([]PointResult, len(points))
 	if workers <= 1 {

@@ -25,7 +25,7 @@ func TestSweepSurfacesPanics(t *testing.T) {
 	points[1].Config.Seed = 0
 	points[4].Config.Seed = 0
 	for _, workers := range []int{1, 3} {
-		results := runSweep(points, workers, run)
+		results := runSweep(points, workers, run, nil)
 		for i, r := range results {
 			poisoned := i == 1 || i == 4
 			if poisoned {

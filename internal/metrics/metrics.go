@@ -174,6 +174,8 @@ func (c *Collector) Finalize(now int64, nodes int, saturated bool) Results {
 // absorbed multiple times contributes multiple counts.
 func (r Results) QueuedTotal() uint64 { return r.QueuedFault + r.QueuedVia }
 
+// String renders the headline metrics as a one-line summary; saturated
+// runs are flagged with a trailing SATURATED marker.
 func (r Results) String() string {
 	sat := ""
 	if r.Saturated {

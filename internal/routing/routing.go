@@ -49,6 +49,8 @@ const (
 	AbsorbFault
 )
 
+// String returns the outcome's short lower-case name as used in event
+// traces ("progress", "deliver", "via", "absorb").
 func (o Outcome) String() string {
 	switch o {
 	case Progress:

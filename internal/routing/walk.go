@@ -134,6 +134,8 @@ func AnalyzeLivelock(a Router, msgLen, maxSteps int) LivelockReport {
 	return rep
 }
 
+// String renders the report as a one-line summary naming the worst
+// source→destination pair.
 func (r LivelockReport) String() string {
 	return fmt.Sprintf("pairs=%d undelivered=%d stops(max=%d mean=%.3f) hops(max=%d mean=%.2f) worst=%d->%d",
 		r.Pairs, r.Undelivered, r.MaxStops, r.MeanStops, r.MaxHops, r.MeanHops, r.WorstSrc, r.WorstDst)

@@ -1,0 +1,178 @@
+package sweep
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// Record is one completed sweep point in a checkpoint journal: one JSON
+// object per line. The ID ties the record back to its plan point
+// (PointID); the label is carried for human inspection of journals, not
+// for matching.
+type Record struct {
+	// ID is the stable point identity (PointID).
+	ID string `json:"id"`
+	// Label is the point's display label at the time it ran.
+	Label string `json:"label"`
+	// Results is the completed run's metrics summary.
+	Results metrics.Results `json:"results"`
+	// Err is the run's error message, empty on success. Errors are
+	// journalled too: a point that failed deterministically would fail
+	// identically on re-run, so recomputing it on resume is waste.
+	Err string `json:"err,omitempty"`
+}
+
+// Journal is an append-only JSONL checkpoint file. Opening a journal
+// recovers from a crashed writer by discarding a torn final line;
+// appends are single whole-line writes, so a process killed mid-sweep
+// (even with SIGKILL) loses at most the record being written, never a
+// previously completed one. Append is safe for concurrent use.
+type Journal struct {
+	mu      sync.Mutex
+	f       *os.File
+	records []Record
+}
+
+// OpenJournal opens (creating if absent) the journal at path, loads its
+// valid records, and truncates any torn final line so subsequent
+// appends start on a clean line boundary. The file is opened with
+// O_APPEND so every record lands at end-of-file rather than at a stale
+// tracked offset. A journal still has exactly one writer at a time —
+// shards journal into separate files — because the recovery truncate on
+// open can clip another writer's in-flight record; O_APPEND merely
+// bounds the damage of a mistaken double-open to torn lines instead of
+// interleaved overwrites.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_APPEND|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: open journal: %w", err)
+	}
+	records, valid, err := scanRecords(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sweep: read journal %s: %w", path, err)
+	}
+	// Drop any torn tail; O_APPEND then directs every write to the new
+	// end-of-file, so no seek is needed.
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sweep: recover journal %s: %w", path, err)
+	}
+	return &Journal{f: f, records: records}, nil
+}
+
+// scanRecords parses newline-terminated records from r and returns them
+// with the byte offset just past the last valid one. A final line that
+// is unterminated or fails to parse — a writer died mid-append — is
+// dropped. A malformed line in the middle of the file is corruption,
+// not a torn write, and is an error.
+func scanRecords(r io.Reader) (records []Record, valid int64, err error) {
+	br := bufio.NewReader(r)
+	for {
+		line, err := br.ReadBytes('\n')
+		if err == io.EOF {
+			// Unterminated tail (possibly empty): torn write, drop it.
+			return records, valid, nil
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+		var rec Record
+		if jerr := json.Unmarshal(line, &rec); jerr != nil {
+			if _, peekErr := br.ReadByte(); peekErr == io.EOF {
+				// Torn final line that happens to end in '\n' garbage is
+				// indistinguishable from corruption; but a parse failure on
+				// the very last line is overwhelmingly a torn write — drop.
+				return records, valid, nil
+			}
+			return nil, 0, fmt.Errorf("corrupt record at byte %d: %w", valid, jerr)
+		}
+		records = append(records, rec)
+		valid += int64(len(line))
+	}
+}
+
+// Records returns the records loaded when the journal was opened. It
+// does not include records appended since; Run loads before running.
+func (j *Journal) Records() []Record { return j.records }
+
+// Append journals one completed record as a single whole-line write.
+func (j *Journal) Append(rec Record) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("sweep: marshal record: %w", err)
+	}
+	b = append(b, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(b); err != nil {
+		return fmt.Errorf("sweep: append record: %w", err)
+	}
+	return nil
+}
+
+// Close closes the underlying file.
+func (j *Journal) Close() error { return j.f.Close() }
+
+// ReadJournal loads the valid records of the journal at path without
+// opening it for writing; a torn final line is silently dropped, as in
+// OpenJournal.
+func ReadJournal(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: open journal: %w", err)
+	}
+	defer f.Close()
+	records, _, err := scanRecords(f)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: read journal %s: %w", path, err)
+	}
+	return records, nil
+}
+
+// MergeJournals combines the records of srcs into the journal at dst
+// (appending to whatever valid records dst already holds) and reports
+// how many distinct points dst holds afterwards. Records are
+// deduplicated by point ID; two successful records for the same ID must
+// agree exactly — engine runs are deterministic, so a disagreement
+// means the journals came from diverging code or data and the merge
+// fails rather than silently picking one. Two *failed* records for one
+// ID are treated as agreeing regardless of message text, because error
+// strings legitimately vary between runs of the same deterministic
+// failure (panic reports embed stack addresses); the first is kept.
+func MergeJournals(dst string, srcs ...string) (int, error) {
+	j, err := OpenJournal(dst)
+	if err != nil {
+		return 0, err
+	}
+	defer j.Close()
+	seen := map[string]Record{}
+	for _, rec := range j.Records() {
+		seen[rec.ID] = rec
+	}
+	for _, src := range srcs {
+		records, err := ReadJournal(src)
+		if err != nil {
+			return 0, err
+		}
+		for _, rec := range records {
+			if prev, ok := seen[rec.ID]; ok {
+				if prev != rec && !(prev.Err != "" && rec.Err != "") {
+					return 0, fmt.Errorf("sweep: merge %s: conflicting results for point %s (%q)", src, rec.ID, rec.Label)
+				}
+				continue
+			}
+			if err := j.Append(rec); err != nil {
+				return 0, err
+			}
+			seen[rec.ID] = rec
+		}
+	}
+	return len(seen), nil
+}

@@ -1,0 +1,165 @@
+package sweep
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func writeJournal(t *testing.T, path string, recs ...Record) {
+	t.Helper()
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func rec(id string, lat float64) Record {
+	return Record{ID: id, Label: "pt-" + id, Results: metrics.Results{MeanLatency: lat, Delivered: 7}}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	want := []Record{rec("aa", 1.5), rec("bb", 2.25), {ID: "cc", Label: "pt-cc", Err: "boom"}}
+	writeJournal(t, path, want...)
+	got, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("read %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestJournalRecoversTornTail covers the two interruption geometries:
+// a journal cut exactly at a record boundary, and one cut mid-line.
+// Both must recover the intact records and let appends resume cleanly.
+func TestJournalRecoversTornTail(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cut  func(data []byte) []byte
+	}{
+		{"boundary", func(data []byte) []byte { return data }},
+		{"mid-line", func(data []byte) []byte { return data[:len(data)-9] }},
+		{"torn-append", func(data []byte) []byte { return append(data, `{"id":"dd","lab`...) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "j.jsonl")
+			writeJournal(t, path, rec("aa", 1), rec("bb", 2))
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, tc.cut(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			wantIntact := 2
+			if tc.name == "mid-line" {
+				wantIntact = 1 // the cut destroyed record bb
+			}
+			j, err := OpenJournal(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := len(j.Records()); got != wantIntact {
+				t.Fatalf("recovered %d records, want %d", got, wantIntact)
+			}
+			// Appending after recovery must yield a clean journal.
+			if err := j.Append(rec("ee", 5)); err != nil {
+				t.Fatal(err)
+			}
+			if err := j.Close(); err != nil {
+				t.Fatal(err)
+			}
+			got, err := ReadJournal(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != wantIntact+1 || got[len(got)-1].ID != "ee" {
+				t.Fatalf("after recovery+append: %+v", got)
+			}
+		})
+	}
+}
+
+func TestJournalRejectsMidFileCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	writeJournal(t, path, rec("aa", 1))
+	data, _ := os.ReadFile(path)
+	data = append([]byte("not json at all\n"), data...)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadJournal(path); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("mid-file corruption not rejected: %v", err)
+	}
+}
+
+func TestMergeJournals(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.jsonl")
+	b := filepath.Join(dir, "b.jsonl")
+	dst := filepath.Join(dir, "m.jsonl")
+	writeJournal(t, a, rec("aa", 1), rec("bb", 2))
+	writeJournal(t, b, rec("bb", 2), rec("cc", 3)) // bb duplicated, identical
+
+	n, err := MergeJournals(dst, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("merged %d distinct points, want 3", n)
+	}
+	got, err := ReadJournal(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0].ID != "aa" || got[1].ID != "bb" || got[2].ID != "cc" {
+		t.Fatalf("merged journal: %+v", got)
+	}
+
+	// Merging is idempotent: repeating adds nothing.
+	n, err = MergeJournals(dst, a, b)
+	if err != nil || n != 3 {
+		t.Fatalf("re-merge: n=%d err=%v", n, err)
+	}
+
+	// A conflicting record for a known ID must fail the merge.
+	c := filepath.Join(dir, "c.jsonl")
+	writeJournal(t, c, rec("bb", 99))
+	if _, err := MergeJournals(dst, c); err == nil || !strings.Contains(err.Error(), "conflicting") {
+		t.Fatalf("conflicting merge not rejected: %v", err)
+	}
+
+	// Two failed records for one ID agree regardless of message text:
+	// error strings of the same deterministic failure vary between runs
+	// (panic reports embed stack addresses). The first is kept.
+	e1 := filepath.Join(dir, "e1.jsonl")
+	e2 := filepath.Join(dir, "e2.jsonl")
+	writeJournal(t, e1, Record{ID: "ff", Label: "pt-ff", Err: "panicked at 0xc0000a1234"})
+	writeJournal(t, e2, Record{ID: "ff", Label: "pt-ff", Err: "panicked at 0xc0000b9876"})
+	edst := filepath.Join(dir, "em.jsonl")
+	if n, err := MergeJournals(edst, e1, e2); err != nil || n != 1 {
+		t.Fatalf("errored-record merge: n=%d err=%v", n, err)
+	}
+	got, err = ReadJournal(edst)
+	if err != nil || len(got) != 1 || got[0].Err != "panicked at 0xc0000a1234" {
+		t.Fatalf("errored-record merge kept wrong record: %+v (err %v)", got, err)
+	}
+}

@@ -1,0 +1,147 @@
+package sweep
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// killPlan is the fixed plan the SIGKILL test runs in both the worker
+// subprocess and the in-process reference: points big enough that a
+// kill lands mid-sweep, small enough to keep the test quick.
+func killPlan() Plan {
+	points := make([]core.Point, 6)
+	for i := range points {
+		c := core.DefaultConfig(8, 2, 0.006)
+		c.WarmupMessages = 200
+		c.MeasureMessages = 2000
+		c.Seed = uint64(100 + i)
+		points[i] = core.Point{Label: fmt.Sprintf("kill%d", i), Config: c}
+	}
+	return Plan{Name: "kill", Points: points}
+}
+
+// TestSweepKillWorker is not a test of its own: it is the subprocess
+// body TestKillResumeBitIdentical re-executes this test binary into,
+// selected by the SWEEP_KILL_CKPT environment variable. It runs
+// killPlan serially with a checkpoint journal until killed.
+func TestSweepKillWorker(t *testing.T) {
+	ckpt := os.Getenv("SWEEP_KILL_CKPT")
+	if ckpt == "" {
+		t.Skip("subprocess helper; run via TestKillResumeBitIdentical")
+	}
+	if _, err := Run(killPlan(), Options{Workers: 1, Checkpoint: ckpt}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKillResumeBitIdentical is the interruption acceptance test: a
+// sweep process is SIGKILLed mid-run, its journal is additionally torn
+// mid-line, and a resumed run with the same checkpoint file must
+// produce results bit-identical to an uninterrupted run.
+func TestKillResumeBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills a subprocess")
+	}
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "ckpt.jsonl")
+
+	ref, err := Run(killPlan(), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-exec this test binary as the sweep worker and SIGKILL it once
+	// the journal shows at least two completed points.
+	cmd := exec.Command(os.Args[0], "-test.run=TestSweepKillWorker$")
+	cmd.Env = append(os.Environ(), "SWEEP_KILL_CKPT="+ckpt)
+	var out bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait() }()
+	killed := false
+	deadline := time.After(2 * time.Minute)
+	for !killed {
+		select {
+		case err := <-exited:
+			// Worker finished before we killed it (very fast machine):
+			// the journal is complete; resume still must reproduce.
+			if err != nil {
+				t.Fatalf("worker failed before kill: %v\n%s", err, out.String())
+			}
+			t.Log("worker completed before kill; resuming a complete journal")
+			killed = true
+		case <-deadline:
+			cmd.Process.Kill()
+			t.Fatalf("worker made no progress\n%s", out.String())
+		default:
+			if countLines(ckpt) >= 2 {
+				cmd.Process.Kill() // SIGKILL: no cleanup, no flushing
+				<-exited
+				killed = true
+			} else {
+				time.Sleep(2 * time.Millisecond)
+			}
+		}
+	}
+	if n := countLines(ckpt); n >= len(killPlan().Points) {
+		t.Logf("journal already complete (%d records): boundary case only", n)
+	}
+
+	// Interruption geometry 1: the journal exactly as the kill left it
+	// (single whole-line appends end at a record boundary).
+	boundary := filepath.Join(dir, "boundary.jsonl")
+	copyFile(t, ckpt, boundary)
+	got, err := Run(killPlan(), Options{Workers: 1, Checkpoint: boundary})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, ref, got)
+
+	// Interruption geometry 2: the same journal torn mid-line, as if the
+	// process died inside a write. The damaged record is re-run.
+	midline := filepath.Join(dir, "midline.jsonl")
+	copyFile(t, ckpt, midline)
+	data, err := os.ReadFile(midline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) > 12 {
+		if err := os.WriteFile(midline, data[:len(data)-12], 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err = Run(killPlan(), Options{Workers: 1, Checkpoint: midline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, ref, got)
+}
+
+func countLines(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0
+	}
+	return bytes.Count(data, []byte{'\n'})
+}
+
+func copyFile(t *testing.T, src, dst string) {
+	t.Helper()
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dst, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

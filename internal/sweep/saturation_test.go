@@ -1,0 +1,179 @@
+package sweep
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// queueCurve fakes a latency-vs-load curve with the M/M/1-like shape
+// real networks show: L(λ) = L0 / (1 - λ/λc), saturated at λ >= λc.
+func queueCurve(l0, lambdaC float64) func(core.Config) (metrics.Results, error) {
+	return func(c core.Config) (metrics.Results, error) {
+		if c.Lambda >= lambdaC {
+			return metrics.Results{MeanLatency: 50 * l0, Saturated: true}, nil
+		}
+		return metrics.Results{MeanLatency: l0 / (1 - c.Lambda/lambdaC)}, nil
+	}
+}
+
+func TestFindSaturationBracketsKnee(t *testing.T) {
+	const l0, lambdaC = 20.0, 0.01
+	base := core.DefaultConfig(8, 2, 0.001)
+	sat, err := FindSaturation("fake", base, SaturationOptions{
+		Factor: 3, LambdaMin: 1e-4, Tol: 0.02,
+		Run: Options{runSweepFunc: fakePool(queueCurve(l0, lambdaC))},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Latency crosses 3·L0 at λ = λc·(1 - 1/3) = 2/3·λc.
+	want := lambdaC * 2 / 3
+	if sat.Lo > want || want > sat.Hi {
+		t.Fatalf("bracket [%g, %g] misses true crossing %g", sat.Lo, sat.Hi, want)
+	}
+	if (sat.Hi-sat.Lo)/sat.Hi > 0.02 {
+		t.Fatalf("bracket [%g, %g] wider than Tol", sat.Lo, sat.Hi)
+	}
+	if math.Abs(sat.Lambda-want)/want > 0.03 {
+		t.Fatalf("λ* = %g, want ≈ %g", sat.Lambda, want)
+	}
+	if sat.ZeroLoad >= l0*1.02 || sat.ZeroLoad < l0 {
+		t.Fatalf("zero-load latency %g, want ≈ %g", sat.ZeroLoad, l0)
+	}
+	if sat.Threshold != 3*sat.ZeroLoad {
+		t.Fatalf("threshold %g, want %g", sat.Threshold, 3*sat.ZeroLoad)
+	}
+	if len(sat.Probes) > 32 {
+		t.Fatalf("probe budget exceeded: %d", len(sat.Probes))
+	}
+}
+
+// TestFindSaturationResumes checkpoints a search, re-runs it, and
+// demands the re-run touch the simulator zero times while reproducing
+// the identical answer — the deterministic-probe-sequence contract.
+func TestFindSaturationResumes(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "sat.jsonl")
+	base := core.DefaultConfig(8, 2, 0.001)
+	opt := func(run func(core.Config) (metrics.Results, error)) SaturationOptions {
+		return SaturationOptions{Run: Options{Checkpoint: ckpt, runSweepFunc: fakePool(run)}}
+	}
+	first, err := FindSaturation("fake", base, opt(queueCurve(20, 0.01)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	poisoned := func(core.Config) (metrics.Results, error) {
+		t.Fatal("resumed search re-ran a journalled probe")
+		return metrics.Results{}, nil
+	}
+	second, err := FindSaturation("fake", base, opt(poisoned))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Lambda != second.Lambda || first.Lo != second.Lo || first.Hi != second.Hi {
+		t.Fatalf("resumed search diverged: %+v vs %+v", first, second)
+	}
+}
+
+// TestFindSaturationProbesUpToLambdaMax pins the bracketing clamp: a
+// knee between the last geometric probe and LambdaMax must be found by
+// probing LambdaMax itself, not reported as "not saturated".
+func TestFindSaturationProbesUpToLambdaMax(t *testing.T) {
+	// Crossing at 2/3·λc = 0.008 — inside (0.0064, 0.01], the gap the
+	// geometric doubling from 1e-4 would skip without the clamp.
+	sat, err := FindSaturation("clamp", core.DefaultConfig(8, 2, 0.001), SaturationOptions{
+		LambdaMax: 0.01, Tol: 0.02,
+		Run: Options{runSweepFunc: fakePool(queueCurve(20, 0.012))},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.012 * 2 / 3
+	if sat.Lo > want || want > sat.Hi {
+		t.Fatalf("bracket [%g, %g] misses crossing %g near LambdaMax", sat.Lo, sat.Hi, want)
+	}
+}
+
+func TestFindSaturationErrors(t *testing.T) {
+	base := core.DefaultConfig(8, 2, 0.001)
+	// Flat curve: never saturates below LambdaMax.
+	flat := func(core.Config) (metrics.Results, error) {
+		return metrics.Results{MeanLatency: 20}, nil
+	}
+	_, err := FindSaturation("flat", base, SaturationOptions{
+		LambdaMax: 0.01,
+		Run:       Options{runSweepFunc: fakePool(flat)},
+	})
+	if err == nil || !strings.Contains(err.Error(), "not saturated") {
+		t.Fatalf("flat curve: %v", err)
+	}
+	// Saturated from the very first probe.
+	drowned := func(core.Config) (metrics.Results, error) {
+		return metrics.Results{MeanLatency: 1e6, Saturated: true}, nil
+	}
+	_, err = FindSaturation("drowned", base, SaturationOptions{
+		Run: Options{runSweepFunc: fakePool(drowned)},
+	})
+	if err == nil || !strings.Contains(err.Error(), "already saturated") {
+		t.Fatalf("drowned curve: %v", err)
+	}
+	// An explicit Factor at or below 1 is an error, not silently the default.
+	_, err = FindSaturation("factor", base, SaturationOptions{
+		Factor: 1,
+		Run:    Options{runSweepFunc: fakePool(flat)},
+	})
+	if err == nil || !strings.Contains(err.Error(), "Factor") {
+		t.Fatalf("Factor=1 not rejected: %v", err)
+	}
+}
+
+// TestFindSaturationReportsNonConvergence pins the Converged flag: a
+// probe budget too small to bisect to Tol must be visible to callers.
+func TestFindSaturationReportsNonConvergence(t *testing.T) {
+	base := core.DefaultConfig(8, 2, 0.001)
+	run := Options{runSweepFunc: fakePool(queueCurve(20, 0.01))}
+	tight, err := FindSaturation("tight", base, SaturationOptions{Tol: 0.001, MaxProbes: 9, Run: run})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Converged {
+		t.Fatalf("9 probes cannot bisect to 0.1%%: %+v", tight)
+	}
+	loose, err := FindSaturation("loose", base, SaturationOptions{Tol: 0.05, Run: run})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loose.Converged {
+		t.Fatalf("default budget should converge at 5%%: %+v", loose)
+	}
+}
+
+// TestFindSaturationReal smoke-tests the search against the actual
+// simulator on a small network; the only assertions are that it
+// converges and lands in a plausible band, since the exact knee is what
+// the search exists to discover.
+func TestFindSaturationReal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real probe sequence")
+	}
+	base := core.DefaultConfig(4, 2, 0.001)
+	base.WarmupMessages = 100
+	base.MeasureMessages = 1000
+	base.Seed = 3
+	sat, err := FindSaturation("real", base, SaturationOptions{
+		LambdaMin: 0.001, Tol: 0.1, MaxProbes: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sat.Lambda <= 0.001 || sat.Lambda >= 0.5 {
+		t.Fatalf("implausible saturation rate %g", sat.Lambda)
+	}
+	if sat.ZeroLoad <= 0 {
+		t.Fatalf("zero-load latency %g", sat.ZeroLoad)
+	}
+}

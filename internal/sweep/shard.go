@@ -1,0 +1,73 @@
+package sweep
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Shard selects a deterministic subset of a plan so independent
+// processes or hosts can split one sweep: shard i of n owns every plan
+// point whose index is congruent to i mod n (round-robin, which keeps
+// shards balanced even when cost varies smoothly along the plan, as it
+// does along a λ grid). The zero value owns everything.
+//
+// Ownership is positional, so every shard must be generated from the
+// identical plan; the stable point IDs make any divergence harmless
+// rather than silent — a mismatched shard's journal simply fails to
+// satisfy the plan's points (they render as skipped) instead of being
+// attributed to the wrong configuration.
+type Shard struct {
+	// Index is this shard's number, in [0, Count).
+	Index int
+	// Count is the total number of shards; 0 or 1 means unsharded.
+	Count int
+}
+
+// ParseShard parses the CLI form "i/n" (e.g. "0/2", "1/2"). The empty
+// string is the unsharded zero value.
+func ParseShard(s string) (Shard, error) {
+	if s == "" {
+		return Shard{}, nil
+	}
+	is, ns, ok := strings.Cut(s, "/")
+	if !ok {
+		return Shard{}, fmt.Errorf("sweep: bad shard %q (want i/n, e.g. 0/2)", s)
+	}
+	i, ierr := strconv.Atoi(is)
+	n, nerr := strconv.Atoi(ns)
+	if ierr != nil || nerr != nil {
+		return Shard{}, fmt.Errorf("sweep: bad shard %q (want i/n, e.g. 0/2)", s)
+	}
+	sh := Shard{Index: i, Count: n}
+	if err := sh.validate(); err != nil {
+		return Shard{}, err
+	}
+	return sh, nil
+}
+
+// String renders the shard in its CLI form; the zero value is "".
+func (s Shard) String() string {
+	if s.Count <= 1 {
+		return ""
+	}
+	return fmt.Sprintf("%d/%d", s.Index, s.Count)
+}
+
+func (s Shard) validate() error {
+	if s.Count < 0 || s.Index < 0 || (s.Count == 0 && s.Index > 0) || (s.Count > 0 && s.Index >= s.Count) {
+		return fmt.Errorf("sweep: bad shard %d/%d (want 0 <= i < n)", s.Index, s.Count)
+	}
+	return nil
+}
+
+// Owns reports whether this shard executes the plan point at index i.
+// Front ends that distribute work outside a Plan (e.g. the saturation
+// searches of figures -fig sat, which cannot shard per-probe) use it to
+// split their own unit of work the same round-robin way.
+func (s Shard) Owns(i int) bool {
+	if s.Count <= 1 {
+		return true
+	}
+	return i%s.Count == s.Index
+}

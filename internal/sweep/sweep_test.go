@@ -1,0 +1,266 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// fakePool builds an Options.runSweepFunc that executes points serially
+// through run, honouring the completion-callback contract of
+// core.RunSweepFunc.
+func fakePool(run func(core.Config) (metrics.Results, error)) func([]core.Point, int, func(int, core.PointResult)) []core.PointResult {
+	return func(points []core.Point, workers int, done func(int, core.PointResult)) []core.PointResult {
+		results := make([]core.PointResult, len(points))
+		for i, pt := range points {
+			res, err := run(pt.Config)
+			results[i] = core.PointResult{Point: pt, Results: res, Err: err}
+			if done != nil {
+				done(i, results[i])
+			}
+		}
+		return results
+	}
+}
+
+// lambdaRunner fakes the simulator with a deterministic function of the
+// config, so cached and fresh results are comparable.
+func lambdaRunner(c core.Config) (metrics.Results, error) {
+	return metrics.Results{MeanLatency: 100 * c.Lambda, Delivered: uint64(c.Seed)}, nil
+}
+
+func testPlan(n int) Plan {
+	points := make([]core.Point, n)
+	for i := range points {
+		c := core.DefaultConfig(4, 2, 0.002*float64(i+1))
+		c.Seed = uint64(i + 1)
+		points[i] = core.Point{Label: fmt.Sprintf("p%d", i), Config: c}
+	}
+	return Plan{Name: "test", Points: points}
+}
+
+func TestPointIDStableAndDistinct(t *testing.T) {
+	plan := testPlan(4)
+	ids := plan.IDs()
+	seen := map[string]bool{}
+	for i, id := range ids {
+		if len(id) != 16 {
+			t.Fatalf("id %q: want 16 hex digits", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %q", id)
+		}
+		seen[id] = true
+		if again := PointID(plan.Points[i]); again != id {
+			t.Fatalf("id not stable: %q then %q", id, again)
+		}
+	}
+	// Any config change must change the ID; a label change too.
+	pt := plan.Points[0]
+	pt.Config.V = 6
+	if PointID(pt) == ids[0] {
+		t.Fatal("config change did not change the point ID")
+	}
+	pt = plan.Points[0]
+	pt.Label = "renamed"
+	if PointID(pt) == ids[0] {
+		t.Fatal("label change did not change the point ID")
+	}
+}
+
+func TestParseShard(t *testing.T) {
+	for _, tc := range []struct {
+		in      string
+		want    Shard
+		wantErr bool
+	}{
+		{"", Shard{}, false},
+		{"0/2", Shard{0, 2}, false},
+		{"1/2", Shard{1, 2}, false},
+		{"3/4", Shard{3, 4}, false},
+		{"2/2", Shard{}, true},
+		{"-1/2", Shard{}, true},
+		{"1/-2", Shard{}, true},
+		{"1", Shard{}, true},
+		{"a/b", Shard{}, true},
+		{"1/2/3", Shard{}, true},
+	} {
+		got, err := ParseShard(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParseShard(%q): want error, got %v", tc.in, got)
+			}
+			continue
+		}
+		if err != nil || got != tc.want {
+			t.Errorf("ParseShard(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+}
+
+func TestShardPartition(t *testing.T) {
+	// Every point is owned by exactly one of the n shards.
+	const points, n = 7, 3
+	for i := 0; i < points; i++ {
+		owners := 0
+		for s := 0; s < n; s++ {
+			if (Shard{Index: s, Count: n}).Owns(i) {
+				owners++
+			}
+		}
+		if owners != 1 {
+			t.Fatalf("point %d owned by %d shards", i, owners)
+		}
+	}
+	if !(Shard{}).Owns(5) || !(Shard{0, 1}).Owns(5) {
+		t.Fatal("unsharded must own everything")
+	}
+}
+
+func TestRunShardSkipsForeignPoints(t *testing.T) {
+	plan := testPlan(5)
+	res, err := Run(plan, Options{Shard: Shard{Index: 1, Count: 2}, runSweepFunc: fakePool(lambdaRunner)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		mine := i%2 == 1
+		if mine && r.Err != nil {
+			t.Fatalf("point %d: owned point failed: %v", i, r.Err)
+		}
+		if !mine && !errors.Is(r.Err, ErrSkipped) {
+			t.Fatalf("point %d: foreign point not marked skipped: %v", i, r.Err)
+		}
+		if r.Label != plan.Points[i].Label {
+			t.Fatalf("point %d: result misaligned with plan", i)
+		}
+	}
+}
+
+// TestRunCheckpointResume interrupts a sweep (by sharding it) and
+// resumes with the same journal: only missing points run, and the final
+// results equal an uninterrupted run exactly.
+func TestRunCheckpointResume(t *testing.T) {
+	plan := testPlan(6)
+	ckpt := filepath.Join(t.TempDir(), "ckpt.jsonl")
+
+	full, err := Run(plan, Options{runSweepFunc: fakePool(lambdaRunner)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(plan, Options{Checkpoint: ckpt, Shard: Shard{0, 2}, runSweepFunc: fakePool(lambdaRunner)}); err != nil {
+		t.Fatal(err)
+	}
+	var ran []string
+	counting := fakePool(lambdaRunner)
+	resumed, err := Run(plan, Options{Checkpoint: ckpt, runSweepFunc: func(pts []core.Point, w int, done func(int, core.PointResult)) []core.PointResult {
+		for _, pt := range pts {
+			ran = append(ran, pt.Label)
+		}
+		return counting(pts, w, done)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"p1", "p3", "p5"}; fmt.Sprint(ran) != fmt.Sprint(want) {
+		t.Fatalf("resume ran %v, want only the unjournalled %v", ran, want)
+	}
+	assertSameResults(t, full, resumed)
+
+	// A third run finds everything journalled and runs nothing.
+	ran = nil
+	again, err := Run(plan, Options{Checkpoint: ckpt, runSweepFunc: func(pts []core.Point, w int, done func(int, core.PointResult)) []core.PointResult {
+		t.Fatalf("fully journalled plan ran points: %v", pts)
+		return nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, full, again)
+}
+
+// TestShardMergeMatchesUnsharded is the sharding acceptance test:
+// -shard 0/2 and -shard 1/2 journals, merged, satisfy the whole plan
+// with results identical to an unsharded run — with the real simulator.
+func TestShardMergeMatchesUnsharded(t *testing.T) {
+	plan := realPlan(5)
+	dir := t.TempDir()
+	j0 := filepath.Join(dir, "s0.jsonl")
+	j1 := filepath.Join(dir, "s1.jsonl")
+	merged := filepath.Join(dir, "merged.jsonl")
+
+	unsharded, err := Run(plan, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(plan, Options{Checkpoint: j0, Shard: Shard{0, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(plan, Options{Checkpoint: j1, Shard: Shard{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	n, err := MergeJournals(merged, j0, j1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(plan.Points) {
+		t.Fatalf("merged %d points, want %d", n, len(plan.Points))
+	}
+	got, err := Run(plan, Options{Checkpoint: merged, runSweepFunc: func(pts []core.Point, w int, done func(int, core.PointResult)) []core.PointResult {
+		t.Fatalf("merged journal incomplete: would re-run %d points", len(pts))
+		return nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, unsharded, got)
+}
+
+// realPlan builds n small but real simulation points (4-ary 2-cube, a
+// few hundred messages each).
+func realPlan(n int) Plan {
+	points := make([]core.Point, n)
+	for i := range points {
+		c := core.DefaultConfig(4, 2, 0.004+0.002*float64(i))
+		c.WarmupMessages = 50
+		c.MeasureMessages = 400
+		c.Seed = uint64(10 + i)
+		points[i] = core.Point{Label: fmt.Sprintf("real%d", i), Config: c}
+	}
+	return Plan{Name: "real", Points: points}
+}
+
+// assertSameResults compares two result sets bit-for-bit via their
+// canonical JSON (floats round-trip exactly through encoding/json, so
+// this is equality of every metric, not approximate agreement).
+func assertSameResults(t *testing.T, want, got []core.PointResult) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("result count %d != %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i].Label != got[i].Label {
+			t.Fatalf("point %d: label %q != %q", i, got[i].Label, want[i].Label)
+		}
+		if (want[i].Err == nil) != (got[i].Err == nil) {
+			t.Fatalf("point %d: error mismatch: %v vs %v", i, want[i].Err, got[i].Err)
+		}
+		wj, err := json.Marshal(want[i].Results)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gj, err := json.Marshal(got[i].Results)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(wj, gj) {
+			t.Fatalf("point %d (%s): results differ:\n want %s\n  got %s", i, want[i].Label, wj, gj)
+		}
+	}
+}

@@ -34,6 +34,8 @@ const (
 	Drop
 )
 
+// String returns the event kind's short lower-case name as written in
+// trace dumps ("inject", "hop", "absorb", ...).
 func (k Kind) String() string {
 	switch k {
 	case Inject:

@@ -88,25 +88,25 @@ func testEnv(t *testing.T, seed uint64) Env {
 func TestNewSourceRejectsBadSpecs(t *testing.T) {
 	env := testEnv(t, 1)
 	for _, spec := range []string{
-		"warp-drive",         // unknown name
-		"poisson:rate=-0.1",  // non-positive rate
-		"poisson:rate=abc",   // not a number
-		"poisson:rate=nan",   // NaN rate
-		"poisson:rtae=0.1",   // misspelt key
-		"burst:on=0",         // zero duration
-		"burst:off=-5",       // negative duration
-		"burst:rate=nan",     // NaN rate
-		"burst:wavelength=9", // unknown key
-		"interval:period=0",  // zero period
+		"warp-drive",            // unknown name
+		"poisson:rate=-0.1",     // non-positive rate
+		"poisson:rate=abc",      // not a number
+		"poisson:rate=nan",      // NaN rate
+		"poisson:rtae=0.1",      // misspelt key
+		"burst:on=0",            // zero duration
+		"burst:off=-5",          // negative duration
+		"burst:rate=nan",        // NaN rate
+		"burst:wavelength=9",    // unknown key
+		"interval:period=0",     // zero period
 		"interval:period=0.5",   // fractional period (would truncate to 0)
 		"interval:period=200.9", // fractional period (would truncate to 200)
 		"nodemap:default=-1",    // negative default
 		"nodemap:default=nan",   // NaN default
 		"nodemap:12=nan",        // NaN per-node rate
-		"nodemap:9999=0.1",   // node out of range
-		"nodemap:default=0",  // no node left generating
-		"replay:path=/tmp/x", // wrong key
-		"replay",             // missing file
+		"nodemap:9999=0.1",      // node out of range
+		"nodemap:default=0",     // no node left generating
+		"replay:path=/tmp/x",    // wrong key
+		"replay",                // missing file
 		"replay:file=/nonexistent/definitely-missing.csv",
 	} {
 		if _, err := NewSource(spec, env); err == nil {
@@ -119,22 +119,22 @@ func TestNewPatternRejectsBadSpecs(t *testing.T) {
 	tor := topology.New(8, 2)
 	fs := fault.NewSet(tor)
 	for _, spec := range []string{
-		"warp-drive",       // unknown name
-		"uniform:frac=0.5", // uniform takes no params
-		"transpose:x=1",    // transpose takes no params
-		"hotspot:frac=0",   // fraction out of (0,1]
-		"hotspot:frac=1.5", // fraction out of (0,1]
-		"hotspot:frac=abc", // not a number
-		"hotspot:frac=nan", // NaN fraction
-		"hotspot:node=-3",  // negative node
-		"hotspot:node=64",  // out of range for 8x8
-		"hotspot:spot=3",   // unknown key
-		"weights:rest=-1",  // negative rest
-		"weights:5=-2",     // negative weight
-		"weights:5=nan",    // NaN weight
+		"warp-drive",           // unknown name
+		"uniform:frac=0.5",     // uniform takes no params
+		"transpose:x=1",        // transpose takes no params
+		"hotspot:frac=0",       // fraction out of (0,1]
+		"hotspot:frac=1.5",     // fraction out of (0,1]
+		"hotspot:frac=abc",     // not a number
+		"hotspot:frac=nan",     // NaN fraction
+		"hotspot:node=-3",      // negative node
+		"hotspot:node=64",      // out of range for 8x8
+		"hotspot:spot=3",       // unknown key
+		"weights:rest=-1",      // negative rest
+		"weights:5=-2",         // negative weight
+		"weights:5=nan",        // NaN weight
 		"weights:5=1,rest=nan", // NaN rest
-		"weights:99=1",     // node out of range
-		"weights:rest=0",   // no positive weight anywhere
+		"weights:99=1",         // node out of range
+		"weights:rest=0",       // no positive weight anywhere
 	} {
 		if _, err := NewPattern(spec, tor, fs); err == nil {
 			t.Errorf("pattern spec %q accepted", spec)

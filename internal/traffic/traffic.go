@@ -137,13 +137,27 @@ type arrival struct {
 	idx  int
 }
 
+// arrivalHeap is a min-heap of scheduled arrivals ordered by cycle; the
+// exported-looking methods below are the container/heap.Interface
+// contract plus a non-popping Peek.
 type arrivalHeap []arrival
 
-func (h arrivalHeap) Len() int           { return len(h) }
+// Len implements heap.Interface.
+func (h arrivalHeap) Len() int { return len(h) }
+
+// Less implements heap.Interface: earlier arrivals first.
 func (h arrivalHeap) Less(i, j int) bool { return h[i].at < h[j].at }
-func (h arrivalHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *arrivalHeap) Push(x any)        { *h = append(*h, x.(arrival)) }
-func (h *arrivalHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+
+// Swap implements heap.Interface.
+func (h arrivalHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+// Push implements heap.Interface; use heap.Push, never call directly.
+func (h *arrivalHeap) Push(x any) { *h = append(*h, x.(arrival)) }
+
+// Pop implements heap.Interface; use heap.Pop, never call directly.
+func (h *arrivalHeap) Pop() any { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+
+// Peek returns the earliest scheduled arrival without removing it.
 func (h arrivalHeap) Peek() (arrival, bool) {
 	if len(h) == 0 {
 		return arrival{}, false
