@@ -1,0 +1,7 @@
+//go:build race
+
+package repro_test
+
+// raceEnabled reports whether the race detector instruments this build;
+// timing-based guards skip themselves under it.
+const raceEnabled = true

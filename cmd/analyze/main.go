@@ -25,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/analytic"
 	"repro/internal/core"
@@ -100,6 +101,10 @@ func analyzeLivelock(k, n, v, m, nf int, seed uint64) {
 		fmt.Printf("faulty nodes: %v\n", fs.FaultyNodes())
 	}
 	for _, info := range routing.Algorithms() {
+		if !info.Supports(t.Kind()) {
+			fmt.Printf("%-18s (skipped: %s-only)\n", info.Name+":", strings.Join(info.Topologies, "/"))
+			continue
+		}
 		alg, err := routing.New(info.Name, t, fs, max(v, info.MinV))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "analyze: %v\n", err)

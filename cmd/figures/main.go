@@ -28,12 +28,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/sweep"
+	"repro/internal/topology"
 )
 
 func main() {
@@ -47,6 +49,7 @@ func main() {
 		checkpoint = flag.String("checkpoint", "", "JSONL checkpoint journal: completed points are skipped on re-run")
 		shardSpec  = flag.String("shard", "", "run only shard i of n ('i/n') of each figure's sweep")
 		mergeList  = flag.String("merge", "", "comma-separated shard journals to merge into -checkpoint before rendering")
+		topo       = flag.String("topo", "", "topology family overriding every figure's torus (e.g. mesh); each figure's k/n are rewritten into the spec, other parameters (latmap) kept; fault-region figures need the shapes to fit the network")
 	)
 	flag.Parse()
 
@@ -77,7 +80,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "figures: merged into %s (%d distinct points)\n", *checkpoint, total)
 	}
 	h := &harness{scale: sc, workers: *workers, seeds: *seeds, csv: *csv, plot: *plot,
-		checkpoint: *checkpoint, shard: shard}
+		checkpoint: *checkpoint, shard: shard, topo: *topo}
 
 	start := time.Now()
 	switch *fig {
@@ -138,6 +141,39 @@ type harness struct {
 	plot       bool
 	checkpoint string
 	shard      sweep.Shard
+	// topo, when set, overrides every figure's k-ary n-cube with a
+	// registry topology spec (mesh-vs-torus comparisons). Each figure
+	// still chooses its own network size: topoFor rewrites the spec's
+	// k/n parameters per point, so size-varying figures keep truthful
+	// labels.
+	topo string
+}
+
+// topoFor resolves the -topo override for a figure point of the given
+// size: empty when no override is set, otherwise the spec with its k and
+// n parameters replaced by the figure's values (other parameters, e.g. a
+// latmap, are preserved). Specs whose factory rejects a k parameter
+// (hypercube) surface that as a per-point error rather than silently
+// simulating a mislabeled size.
+func (h *harness) topoFor(k, n int) string {
+	if h.topo == "" {
+		return ""
+	}
+	spec, err := topology.ParseSpec(h.topo)
+	if err != nil {
+		return h.topo // let core.Validate report the parse error
+	}
+	params := []topology.Param{
+		{Key: "k", Value: strconv.Itoa(k)},
+		{Key: "n", Value: strconv.Itoa(n)},
+	}
+	for _, p := range spec.Params {
+		if p.Key != "k" && p.Key != "n" {
+			params = append(params, p)
+		}
+	}
+	spec.Params = params
+	return spec.String()
 }
 
 // lambdaGrid returns the traffic-rate axis used for a V value, mirroring
@@ -167,6 +203,7 @@ func (h *harness) lambdaGrid(v int) []float64 {
 
 func (h *harness) base(k, n int, lambda float64) core.Config {
 	c := core.DefaultConfig(k, n, lambda)
+	c.Topology = h.topoFor(k, n)
 	c.WarmupMessages = h.scale.warmup
 	c.MeasureMessages = h.scale.measure
 	return c

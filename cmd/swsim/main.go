@@ -1,11 +1,14 @@
 // Command swsim runs Software-Based routing simulation points and prints
-// result rows. The routing algorithm, destination pattern and arrival
-// process are all selected by registry spec (-alg, -pattern, -traffic;
-// -list enumerates everything available).
+// result rows. The topology, routing algorithm, destination pattern and
+// arrival process are all selected by registry spec (-topo, -alg,
+// -pattern, -traffic; -list enumerates everything available).
 //
 // Examples:
 //
 //	swsim -k 8 -n 2 -v 4 -m 32 -lambda 0.006 -faults 3
+//	swsim -topo mesh:k=8,n=2 -alg planar-adaptive -v 4 -lambda 0.004
+//	swsim -topo hypercube:n=6 -v 4 -lambda 0.004
+//	swsim -topo 'torus:k=8,n=2,latmap=lat.csv' -v 4 -lambda 0.004
 //	swsim -k 8 -n 3 -v 10 -m 32 -lambda 0.01 -faults 12 -alg adaptive
 //	swsim -k 8 -n 2 -v 6 -m 32 -lambda 0.006 -pattern transpose -alg valiant
 //	swsim -k 8 -n 2 -v 6 -m 32 -lambda 0.006 -traffic 'burst:on=50,off=200,rate=0.02'
@@ -51,15 +54,16 @@ import (
 
 func main() {
 	var (
-		k        = flag.Int("k", 8, "radix (nodes per dimension)")
-		n        = flag.Int("n", 2, "dimensions")
+		k        = flag.Int("k", 8, "radix (nodes per dimension); shorthand for -topo torus:k=...")
+		n        = flag.Int("n", 2, "dimensions; shorthand for -topo torus:n=...")
+		topo     = flag.String("topo", "", "topology spec from the registry (overrides -k/-n; see -list)")
 		v        = flag.Int("v", 4, "virtual channels per physical channel")
 		m        = flag.Int("m", 32, "message length in flits")
 		buf      = flag.Int("buf", 2, "per-VC buffer depth in flits")
 		lambda   = flag.Float64("lambda", 0.004, "generation rate (messages/node/cycle)")
 		alg      = flag.String("alg", "det", "routing algorithm (see -list)")
 		adaptive = flag.Bool("adaptive", false, "deprecated: same as -alg adaptive")
-		list     = flag.Bool("list", false, "list registered algorithms, patterns and sources, then exit")
+		list     = flag.Bool("list", false, "list registered topologies, algorithms, patterns and sources, then exit")
 		faults   = flag.Int("faults", 0, "random faulty nodes")
 		shape    = flag.String("shape", "", "fault region shape: rect|T|plus|L|U (Fig. 5 configurations)")
 		pattern  = flag.String("pattern", "uniform", "destination pattern spec (see -list)")
@@ -98,6 +102,7 @@ func main() {
 	}
 
 	cfg := core.DefaultConfig(*k, *n, *lambda)
+	cfg.Topology = *topo
 	cfg.V = *v
 	cfg.MsgLen = *m
 	cfg.BufDepth = *buf
@@ -234,8 +239,8 @@ func main() {
 	}
 
 	if !*quiet {
-		fmt.Printf("# %d-ary %d-cube, %s routing, V=%d, M=%d flits, λ=%g, traffic=%s, pattern=%s, faults=%d%s\n",
-			*k, *n, algName, *v, *m, *lambda, cfg.TrafficSpec(), cfg.PatternSpec(), *faults, shapeNote(*shape))
+		fmt.Printf("# %s, %s routing, V=%d, M=%d flits, λ=%g, traffic=%s, pattern=%s, faults=%d%s\n",
+			cfg.TopologySpec(), algName, *v, *m, *lambda, cfg.TrafficSpec(), cfg.PatternSpec(), *faults, shapeNote(*shape))
 		fmt.Printf("# wall time: %v, simulated cycles: %d\n", elapsed.Round(time.Millisecond), res.Cycles)
 		fmt.Println(csvHeader)
 	}
@@ -324,8 +329,8 @@ func runSweepGrid(base core.Config, grid []float64, opt sweep.Options, quiet, js
 		os.Exit(1)
 	}
 	if !quiet && !jsonOut {
-		fmt.Printf("# %d-ary %d-cube, %s routing, V=%d, M=%d flits, traffic=%s, pattern=%s, faults=%d: %d-point sweep (wall time %v)\n",
-			base.K, base.N, base.AlgorithmName(), base.V, base.MsgLen,
+		fmt.Printf("# %s, %s routing, V=%d, M=%d flits, traffic=%s, pattern=%s, faults=%d: %d-point sweep (wall time %v)\n",
+			base.TopologySpec(), base.AlgorithmName(), base.V, base.MsgLen,
 			base.TrafficSpec(), base.PatternSpec(), base.Faults.RandomNodes,
 			len(grid), time.Since(start).Round(time.Millisecond))
 		fmt.Println(csvHeader)
@@ -381,8 +386,8 @@ func runFindSat(base core.Config, opt sweep.Options, factor float64, quiet, json
 		return
 	}
 	if !quiet {
-		fmt.Printf("# %d-ary %d-cube, %s routing, V=%d, M=%d flits: saturation search (%d probes)\n",
-			base.K, base.N, base.AlgorithmName(), base.V, base.MsgLen, len(sat.Probes))
+		fmt.Printf("# %s, %s routing, V=%d, M=%d flits: saturation search (%d probes)\n",
+			base.TopologySpec(), base.AlgorithmName(), base.V, base.MsgLen, len(sat.Probes))
 		for _, pr := range sat.Probes {
 			note := ""
 			if pr.Results.Saturated {

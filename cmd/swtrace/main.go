@@ -5,6 +5,7 @@
 //
 //	swtrace -k 8 -n 2 -faults 5 -seed 4 -src 0,0 -dst 5,5
 //	swtrace -k 8 -n 2 -shape U -src 0,3 -dst 4,3 -alg adaptive
+//	swtrace -topo mesh:k=8,n=2 -alg planar-adaptive -faults 4 -src 0,0 -dst 7,7
 package main
 
 import (
@@ -28,8 +29,9 @@ import (
 
 func main() {
 	var (
-		k        = flag.Int("k", 8, "radix")
-		n        = flag.Int("n", 2, "dimensions")
+		k        = flag.Int("k", 8, "radix; shorthand for -topo torus:k=...")
+		n        = flag.Int("n", 2, "dimensions; shorthand for -topo torus:n=...")
+		topo     = flag.String("topo", "", "topology spec from the registry (overrides -k/-n; see -list)")
 		v        = flag.Int("v", 4, "virtual channels")
 		m        = flag.Int("m", 16, "message length (flits)")
 		faults   = flag.Int("faults", 0, "random faulty nodes")
@@ -39,7 +41,7 @@ func main() {
 		dstFlag  = flag.String("dst", "", "destination coordinates (required)")
 		algFlag  = flag.String("alg", "det", "routing algorithm from the registry")
 		adaptive = flag.Bool("adaptive", false, "deprecated: same as -alg adaptive")
-		list     = flag.Bool("list", false, "list registered algorithms, patterns and sources, then exit")
+		list     = flag.Bool("list", false, "list registered topologies, algorithms, patterns and sources, then exit")
 	)
 	flag.Parse()
 
@@ -48,7 +50,14 @@ func main() {
 		return
 	}
 
-	t := topology.New(*k, *n)
+	spec := *topo
+	if spec == "" {
+		spec = fmt.Sprintf("torus:k=%d,n=%d", *k, *n)
+	}
+	t, err := topology.NewNetwork(spec)
+	if err != nil {
+		fatal(err)
+	}
 	src, err := parseCoords(t, *srcFlag)
 	if err != nil {
 		fatal(err)
@@ -101,7 +110,7 @@ func main() {
 	}
 	mode := alg.BaseMode()
 
-	if *n == 2 {
+	if t.N() == 2 {
 		fmt.Print(viz.RenderPlane(fs, 0, 0, 1))
 	}
 	fmt.Print(viz.RenderRegions(fs))
@@ -127,7 +136,7 @@ func main() {
 		msg.DeliveredAt-msg.CreatedAt, t.Distance(src, dst), *m, msg.Absorptions)
 }
 
-func parseCoords(t *topology.Torus, s string) (topology.NodeID, error) {
+func parseCoords(t topology.Network, s string) (topology.NodeID, error) {
 	if s == "" {
 		return 0, fmt.Errorf("empty coordinates")
 	}

@@ -52,7 +52,15 @@ func (fs FaultSpec) Empty() bool {
 // Config fully describes one simulation point. The zero value is not
 // runnable; start from DefaultConfig.
 type Config struct {
+	// Topology is the network spec in the topology registry:
+	// "torus:k=8,n=2" (the paper's networks, the default), "mesh:k=8,n=2",
+	// "hypercube:n=10", optionally with a per-link latency overlay
+	// (",latmap=<file>"); see topology.Topologies. Empty defers to the
+	// legacy K/N fields, which select a torus.
+	Topology string
 	// K is the radix and N the dimensionality of the k-ary n-cube.
+	// Deprecated: legacy shorthand for Topology = "torus:k=K,n=N",
+	// honoured only when Topology is empty.
 	K, N int
 	// V is the number of virtual channels per physical channel (paper
 	// sweeps 4, 6, 10).
@@ -122,6 +130,11 @@ type Config struct {
 	// every router every cycle. Benchmark/ablation knob: results are
 	// bit-identical either way, only wall-clock cost differs.
 	DenseScan bool
+	// NoLinkCache disables the engine's precomputed per-link geometry
+	// table and dispatches through the topology interface per flit.
+	// Benchmark/ablation knob: results are bit-identical either way, only
+	// Step cost differs.
+	NoLinkCache bool
 	// Seed makes the run reproducible.
 	Seed uint64
 }
@@ -143,6 +156,25 @@ func DefaultConfig(k, n int, lambda float64) Config {
 		MeasureMessages: 10000,
 		Seed:            1,
 	}
+}
+
+// TopologySpec resolves the topology spec for this config: the explicit
+// Topology field when set, else the legacy K/N torus.
+func (c Config) TopologySpec() string {
+	if c.Topology != "" {
+		return c.Topology
+	}
+	return fmt.Sprintf("torus:k=%d,n=%d", c.K, c.N)
+}
+
+// BuildTopology constructs the network this config describes through the
+// topology registry.
+func (c Config) BuildTopology() (topology.Network, error) {
+	net, err := topology.NewNetwork(c.TopologySpec())
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return net, nil
 }
 
 // PatternSpec resolves the destination-pattern spec for this config:
@@ -181,20 +213,39 @@ func (c Config) AlgorithmName() string {
 	return "det"
 }
 
-// Validate checks the configuration for consistency.
+// Validate checks the configuration for consistency: registered algorithm,
+// buildable topology, an algorithm/topology pairing the routing registry
+// admits, well-formed workload specs with in-range node ids, and a fault
+// specification that fits the selected network (plane dimensions, base
+// nodes, link existence, silhouette extents — a mesh rejects shapes that
+// would wrap).
 func (c Config) Validate() error {
 	name := c.AlgorithmName()
 	info, ok := routing.Lookup(name)
 	if !ok {
 		return fmt.Errorf("core: unknown routing algorithm %q (registered: %v)", name, routing.Names())
 	}
+	if c.Topology == "" {
+		// Legacy field errors keep their historical shape.
+		if c.K < 2 {
+			return fmt.Errorf("core: radix K must be >= 2, got %d", c.K)
+		}
+		if c.N < 1 {
+			return fmt.Errorf("core: dimension N must be >= 1, got %d", c.N)
+		}
+	}
+	net, err := c.BuildTopology()
+	if err != nil {
+		return err
+	}
+	if !info.Supports(net.Kind()) {
+		return fmt.Errorf("core: algorithm %q supports topologies %v, not %q (topology %s)",
+			name, info.Topologies, net.Kind(), net.Spec())
+	}
+	minV := info.MinVFor(net)
 	switch {
-	case c.K < 2:
-		return fmt.Errorf("core: radix K must be >= 2, got %d", c.K)
-	case c.N < 1:
-		return fmt.Errorf("core: dimension N must be >= 1, got %d", c.N)
-	case c.V < info.MinV:
-		return fmt.Errorf("core: algorithm %q needs V >= %d, got %d", name, info.MinV, c.V)
+	case c.V < minV:
+		return fmt.Errorf("core: algorithm %q needs V >= %d on %s, got %d", name, minV, net, c.V)
 	case c.BufDepth < 1:
 		return fmt.Errorf("core: BufDepth must be >= 1, got %d", c.BufDepth)
 	case c.MsgLen < 1:
@@ -208,37 +259,48 @@ func (c Config) Validate() error {
 	case c.Td < 0 || c.Delta < 0:
 		return fmt.Errorf("core: Td and Delta must be >= 0")
 	}
-	if err := c.validateWorkload(); err != nil {
+	if err := c.validateWorkload(net); err != nil {
 		return err
 	}
+	return c.validateFaults(net)
+}
+
+// validateFaults checks the fault specification against the selected
+// topology: total fault count below the network size, every explicit link
+// existing, and every shape stamp fitting its plane. Shape checks dry-run
+// the real StampShape into a scratch set so validation and construction
+// cannot drift.
+func (c Config) validateFaults(net topology.Network) error {
 	faulty := c.Faults.RandomNodes
+	scratch := fault.NewSet(net)
 	for _, s := range c.Faults.Shapes {
 		n, err := s.Spec.CellCount()
 		if err != nil {
 			return fmt.Errorf("core: bad shape: %w", err)
 		}
 		faulty += n
+		if _, err := fault.StampShape(scratch, s.Base, s.DimA, s.DimB, s.Spec); err != nil {
+			return fmt.Errorf("core: bad shape: %w", err)
+		}
 	}
-	total := 1
-	for i := 0; i < c.N; i++ {
-		total *= c.K
+	for _, l := range c.Faults.Links {
+		if err := checkFaultLink(net, l.Src, l.Port); err != nil {
+			return err
+		}
 	}
-	if faulty >= total {
-		return fmt.Errorf("core: %d faults in a %d-node network", faulty, total)
+	if faulty >= net.Nodes() {
+		return fmt.Errorf("core: %d faults in a %d-node network", faulty, net.Nodes())
 	}
 	return nil
 }
 
 // validateWorkload checks the pattern and source specs: parseable,
 // registered names, well-formed parameters (via the traffic registry's
-// static checks), and — because only the config knows the network size —
-// that every referenced node id (hotspot's node=, the per-node entries of
-// nodemap/weights) is inside the K^N-node network.
-func (c Config) validateWorkload() error {
-	total := 1
-	for i := 0; i < c.N; i++ {
-		total *= c.K
-	}
+// static checks), and — because only the config knows the network — that
+// every referenced node id (hotspot's node=, the per-node entries of
+// nodemap/weights) is inside the selected network.
+func (c Config) validateWorkload(net topology.Network) error {
+	total := net.Nodes()
 	pspec, pinfo, err := traffic.CheckPatternSpec(c.PatternSpec())
 	if err != nil {
 		return fmt.Errorf("core: bad traffic pattern: %w", err)
@@ -280,6 +342,20 @@ func checkSpecNodeIDs(spec traffic.Spec, info traffic.Info, total int) error {
 				return err
 			}
 		}
+	}
+	return nil
+}
+
+// checkFaultLink verifies that an explicit fault link names an existing
+// channel of the network; Validate and BuildFaults share it so the
+// validation and construction checks cannot drift.
+func checkFaultLink(net topology.Network, src topology.NodeID, port topology.Port) error {
+	if !net.Valid(src) {
+		return fmt.Errorf("core: fault link source %d out of range [0,%d)", src, net.Nodes())
+	}
+	if port < 0 || int(port) >= net.Degree() || !net.HasLink(src, port.Dim(), port.Dir()) {
+		return fmt.Errorf("core: fault link %v does not exist on %s",
+			topology.ChannelID{Src: src, Port: port}, net)
 	}
 	return nil
 }

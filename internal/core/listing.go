@@ -3,19 +3,31 @@ package core
 import (
 	"fmt"
 	"io"
+	"strings"
 
 	"repro/internal/routing"
+	"repro/internal/topology"
 	"repro/internal/traffic"
 )
 
-// PrintRegistries writes the three registry sections shared by the CLIs'
-// -list output: routing algorithms, destination patterns and arrival
-// sources. prefix qualifies the pattern/traffic flag names in the section
-// headers for commands (swtrace) that do not take those flags themselves.
+// PrintRegistries writes the four registry sections shared by the CLIs'
+// -list output: topologies, routing algorithms, destination patterns and
+// arrival sources. prefix qualifies the pattern/traffic flag names in the
+// section headers for commands (swtrace) that do not take those flags
+// themselves.
 func PrintRegistries(w io.Writer, prefix string) {
-	fmt.Fprintln(w, "routing algorithms (-alg):")
+	fmt.Fprintln(w, "topologies (-topo):")
+	for _, info := range topology.Topologies() {
+		fmt.Fprintf(w, "  %-28s %s\n", info.Usage, info.Description)
+	}
+	fmt.Fprintln(w, "  every topology accepts a ,latmap=<file> per-link latency overlay (CSV: src,port,latency)")
+	fmt.Fprintln(w, "\nrouting algorithms (-alg):")
 	for _, info := range routing.Algorithms() {
-		fmt.Fprintf(w, "  %-18s V>=%d  %s\n", info.Name, info.MinV, info.Description)
+		scope := ""
+		if len(info.Topologies) > 0 {
+			scope = " [" + strings.Join(info.Topologies, ",") + " only]"
+		}
+		fmt.Fprintf(w, "  %-18s V>=%d  %s%s\n", info.Name, info.MinV, info.Description, scope)
 	}
 	fmt.Fprintf(w, "\ndestination patterns (%s-pattern):\n", prefix)
 	for _, info := range traffic.Patterns() {

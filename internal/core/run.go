@@ -13,10 +13,11 @@ import (
 	"repro/internal/traffic"
 )
 
-// BuildFaults materialises a fault specification on the torus. Random
+// BuildFaults materialises a fault specification on the network. Random
 // placement derives its stream from seed; stamped shapes are deterministic.
-// The resulting configuration is rejected if it disconnects the network.
-func BuildFaults(t *topology.Torus, spec FaultSpec, seed uint64) (*fault.Set, error) {
+// The resulting configuration is rejected if it names nonexistent links or
+// disconnects the network.
+func BuildFaults(t topology.Network, spec FaultSpec, seed uint64) (*fault.Set, error) {
 	r := rng.New(seed).Split(0xfa017)
 	var fs *fault.Set
 	if spec.RandomNodes > 0 {
@@ -34,6 +35,9 @@ func BuildFaults(t *topology.Torus, spec FaultSpec, seed uint64) (*fault.Set, er
 		}
 	}
 	for _, l := range spec.Links {
+		if err := checkFaultLink(t, l.Src, l.Port); err != nil {
+			return nil, err
+		}
 		fs.MarkLink(l.Src, l.Port)
 	}
 	if fs.Disconnects() {
@@ -48,7 +52,7 @@ func BuildFaults(t *topology.Torus, spec FaultSpec, seed uint64) (*fault.Set, er
 // stream the pre-registry code handed to traffic.NewGenerator (the run
 // seed's Split(1)) so the default poisson+uniform path consumes random
 // numbers in exactly the historical order.
-func buildWorkload(c Config, t *topology.Torus, fs *fault.Set, mode message.Mode, r *rng.Stream) (traffic.Source, error) {
+func buildWorkload(c Config, t topology.Network, fs *fault.Set, mode message.Mode, r *rng.Stream) (traffic.Source, error) {
 	pattern, err := traffic.NewPattern(c.PatternSpec(), t, fs)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -80,7 +84,10 @@ func Run(c Config) (metrics.Results, error) {
 	if err := c.Validate(); err != nil {
 		return metrics.Results{}, err
 	}
-	t := topology.New(c.K, c.N)
+	t, err := c.BuildTopology()
+	if err != nil {
+		return metrics.Results{}, err
+	}
 	fs, err := BuildFaults(t, c.Faults, c.Seed)
 	if err != nil {
 		return metrics.Results{}, err
@@ -111,6 +118,7 @@ func Run(c Config) (metrics.Results, error) {
 		LinkLatency:        c.LinkLatency,
 		CreditDelay:        c.CreditDelay,
 		DenseScan:          c.DenseScan,
+		NoLinkCache:        c.NoLinkCache,
 	}
 	nw := network.New(t, fs, alg, gen, col, params, r.Split(2))
 

@@ -16,24 +16,26 @@ import (
 	"repro/internal/topology"
 )
 
-// Set is a static fault configuration over one torus: which nodes have
+// Set is a static fault configuration over one network: which nodes have
 // failed, plus individually failed links. Per the paper, a node failure
 // marks every physical link and virtual channel incident on the failed node
 // faulty at the adjacent routers; Set implements that implication in
-// LinkFaulty.
+// LinkFaulty. On non-wrapping topologies (mesh), a channel that does not
+// exist at all (edge port) also reports faulty: "unusable" is the single
+// property routing needs, whether the cause is a failure or a missing wire.
 //
 // Sets are built once before a simulation starts and are immutable during
 // the run (static fault model, MTTR >> simulation horizon), so all query
 // methods are safe for concurrent readers.
 type Set struct {
-	t     *topology.Torus
+	t     topology.Network
 	node  []bool // indexed by NodeID
 	nodes []topology.NodeID
 	link  map[topology.ChannelID]bool
 }
 
-// NewSet returns an empty fault configuration for the given torus.
-func NewSet(t *topology.Torus) *Set {
+// NewSet returns an empty fault configuration for the given network.
+func NewSet(t topology.Network) *Set {
 	return &Set{
 		t:    t,
 		node: make([]bool, t.Nodes()),
@@ -41,8 +43,14 @@ func NewSet(t *topology.Torus) *Set {
 	}
 }
 
+// Net returns the topology this fault set applies to.
+func (s *Set) Net() topology.Network { return s.t }
+
 // Torus returns the topology this fault set applies to.
-func (s *Set) Torus() *topology.Torus { return s.t }
+//
+// Deprecated: the name predates pluggable topologies; use Net. It returns
+// the bound Network, which need not be a torus.
+func (s *Set) Torus() topology.Network { return s.t }
 
 // MarkNode marks one node (PE + router) failed. Marking twice is a no-op.
 func (s *Set) MarkNode(id topology.NodeID) {
@@ -63,8 +71,13 @@ func (s *Set) MarkNodes(ids []topology.NodeID) {
 }
 
 // MarkLink marks the physical link leaving src through port failed in both
-// directions (the paired channel of the neighbouring router fails too).
+// directions (the paired channel of the neighbouring router fails too). It
+// panics when the network has no such link (mesh edge): callers with
+// untrusted link lists validate against HasLink first (core's Validate).
 func (s *Set) MarkLink(src topology.NodeID, port topology.Port) {
+	if !s.t.Valid(src) || !s.t.HasLink(src, port.Dim(), port.Dir()) {
+		panic(fmt.Sprintf("fault: no link %v on %s", topology.ChannelID{Src: src, Port: port}, s.t))
+	}
 	ch := topology.ChannelID{Src: src, Port: port}
 	s.link[ch] = true
 	dst := ch.Dst(s.t)
@@ -75,10 +88,13 @@ func (s *Set) MarkLink(src topology.NodeID, port topology.Port) {
 func (s *Set) NodeFaulty(id topology.NodeID) bool { return s.node[id] }
 
 // LinkFaulty reports whether the unidirectional channel leaving src through
-// port is unusable: either the link itself failed, or an endpoint node
-// failed.
+// port is unusable: the link does not exist (mesh edge), the link itself
+// failed, or an endpoint node failed.
 func (s *Set) LinkFaulty(src topology.NodeID, port topology.Port) bool {
 	if s.node[src] {
+		return true
+	}
+	if !s.t.HasLink(src, port.Dim(), port.Dir()) {
 		return true
 	}
 	ch := topology.ChannelID{Src: src, Port: port}
@@ -225,7 +241,9 @@ func (s *Set) PathFaultFree(path []topology.NodeID, exemptFirst bool) bool {
 }
 
 // hopDir identifies the (dimension, direction) of a single hop a -> b.
-func hopDir(t *topology.Torus, a, b topology.NodeID) (int, topology.Dir, bool) {
+// Missing links (mesh edges) never match: Neighbor returns -1 there, and b
+// is a valid node id.
+func hopDir(t topology.Network, a, b topology.NodeID) (int, topology.Dir, bool) {
 	for d := 0; d < t.N(); d++ {
 		if t.Neighbor(a, d, topology.Plus) == b {
 			return d, topology.Plus, true
@@ -258,7 +276,7 @@ func DefaultRandomOptions() RandomOptions {
 // using a uniform random number generator", §5.2), rejecting configurations
 // that disconnect the network when opts.KeepConnected is set. It returns the
 // resulting fault set or an error if no admissible placement was found.
-func Random(t *topology.Torus, nf int, r *rng.Stream, opts RandomOptions) (*Set, error) {
+func Random(t topology.Network, nf int, r *rng.Stream, opts RandomOptions) (*Set, error) {
 	if nf < 0 || nf >= t.Nodes() {
 		return nil, fmt.Errorf("fault: cannot place %d faults in %d nodes", nf, t.Nodes())
 	}

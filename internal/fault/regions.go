@@ -11,7 +11,7 @@ import (
 // layer consults the region containing a blocking node to size its
 // orthogonal detours.
 type Region struct {
-	t *topology.Torus
+	t topology.Network
 	// Nodes are the member faulty nodes, ascending.
 	Nodes []topology.NodeID
 	set   map[topology.NodeID]bool
@@ -40,6 +40,9 @@ func (s *Set) Regions() []*Region {
 			for d := 0; d < s.t.N(); d++ {
 				for _, dir := range []topology.Dir{topology.Plus, topology.Minus} {
 					nb := s.t.Neighbor(cur, d, dir)
+					if nb < 0 { // mesh edge: no link, no adjacency
+						continue
+					}
 					if s.node[nb] && !visited[nb] {
 						visited[nb] = true
 						queue = append(queue, nb)

@@ -200,20 +200,39 @@ func (sp ShapeSpec) CellCount() (int, error) {
 }
 
 // StampShape marks the silhouette into the fault set, within the plane
-// spanned by (dimA, dimB) through base. Coordinates are taken mod k. It
-// returns the stamped nodes and an error for invalid parameters or if the
-// silhouette would self-overlap after wrapping (shape larger than the ring).
+// spanned by (dimA, dimB) through base. The plane dimensions must be
+// distinct and inside the network's dimensionality, and base a valid node.
+// On wrapping topologies (torus) coordinates are taken mod k; on meshes,
+// where relocating an overflowing cell across the missing wraparound edge
+// would tear the region apart, the silhouette must fit inside [0, k) along
+// both axes. It returns the stamped nodes, or an error for invalid
+// parameters, a silhouette that self-overlaps after wrapping (shape larger
+// than the ring), or one that does not fit the selected topology.
 func StampShape(s *Set, base topology.NodeID, dimA, dimB int, sp ShapeSpec) ([]topology.NodeID, error) {
 	cs, err := sp.cells()
 	if err != nil {
 		return nil, err
 	}
-	t := s.Torus()
-	pl := t.PlaneThrough(base, dimA, dimB)
+	t := s.Net()
+	if dimA < 0 || dimA >= t.N() || dimB < 0 || dimB >= t.N() {
+		return nil, fmt.Errorf("fault: shape plane (%d,%d) out of range for %s", dimA, dimB, t)
+	}
+	if dimA == dimB {
+		return nil, fmt.Errorf("fault: shape plane requires two distinct dimensions, got (%d,%d)", dimA, dimB)
+	}
+	if !t.Valid(base) {
+		return nil, fmt.Errorf("fault: shape base node %d out of range [0,%d)", base, t.Nodes())
+	}
+	pl := topology.PlaneOf(t, base, dimA, dimB)
 	seen := make(map[topology.NodeID]bool, len(cs))
 	out := make([]topology.NodeID, 0, len(cs))
 	for _, c := range cs {
-		id := pl.Node((sp.AnchorA+c[0])%t.K(), (sp.AnchorB+c[1])%t.K())
+		a, b := sp.AnchorA+c[0], sp.AnchorB+c[1]
+		if !t.Wraps() && (a < 0 || a >= t.K() || b < 0 || b >= t.K()) {
+			return nil, fmt.Errorf("fault: shape %v at (%d,%d) does not fit %s (cell (%d,%d) outside [0,%d))",
+				sp.Shape, sp.AnchorA, sp.AnchorB, t, a, b, t.K())
+		}
+		id := pl.Node(a%t.K(), b%t.K())
 		if seen[id] {
 			return nil, fmt.Errorf("fault: shape %v at (%d,%d) self-overlaps after wraparound (k=%d)",
 				sp.Shape, sp.AnchorA, sp.AnchorB, t.K())

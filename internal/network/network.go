@@ -1,5 +1,5 @@
 // Package network is the flit-level, cycle-accurate simulation engine: it
-// wires one router per node of a k-ary n-cube, drives the configured
+// wires one router per node of any topology.Network, drives the configured
 // traffic source (any registered traffic.Source — Poisson, bursty, trace
 // replay, ...) through them under wormhole switching with virtual channels
 // and credit flow control, and implements the Software-Based
@@ -17,6 +17,7 @@ package network
 import (
 	"fmt"
 	"slices"
+	"sort"
 
 	"repro/internal/fault"
 	"repro/internal/message"
@@ -51,9 +52,11 @@ type Params struct {
 	// priority over new messages" rule (ablation: §4 argues the priority
 	// prevents starvation).
 	NoReinjectPriority bool
-	// LinkLatency is the flit transmission time across a physical channel
-	// in cycles. The paper's assumption (g) — one flit per cycle — is the
-	// default 1; larger values model longer wires (ablation knob).
+	// LinkLatency is the default flit transmission time across a physical
+	// channel in cycles. The paper's assumption (g) — one flit per cycle —
+	// is the default 1; larger values model longer wires (ablation knob).
+	// Topologies carrying a latmap overlay override it per link
+	// (topology.Network.LinkLatency); credits keep the global CreditDelay.
 	LinkLatency int64
 	// CreditDelay is the time for a credit to travel back upstream.
 	// Default 1 (visible the next cycle); larger values model pipelined
@@ -63,6 +66,12 @@ type Params struct {
 	// every cycle, as the engine originally did. Ablation/benchmark knob:
 	// results are bit-identical either way, only Step cost differs.
 	DenseScan bool
+	// NoLinkCache disables the engine's precomputed per-link geometry
+	// table and queries the topology interface on every flit transfer
+	// instead. Benchmark/ablation knob guarding the topology-seam
+	// refactor: results are bit-identical either way, only the dispatch
+	// cost differs.
+	NoLinkCache bool
 }
 
 // DefaultParams returns the paper's configuration: Td = 0, Δ = 0,
@@ -90,6 +99,17 @@ type creditEvent struct {
 	vc    int
 }
 
+// link is one precomputed entry of the engine's per-(node, port) geometry
+// table: the downstream router, whether the hop crosses the dateline, and
+// the effective flit latency (per-link overlay or the global default).
+// Routing only ever allocates existing healthy channels, so the dst of an
+// unwired mesh-edge port (-1) is never read.
+type link struct {
+	dst   topology.NodeID
+	wraps bool
+	lat   int64
+}
+
 // pendingMsg is a queued message at a node's software layer.
 type pendingMsg struct {
 	m          *message.Message
@@ -106,10 +126,16 @@ type stream struct {
 
 // Network is the simulation engine.
 type Network struct {
-	t   *topology.Torus
+	t   topology.Network
 	f   *fault.Set
 	alg routing.Router
 	p   Params
+
+	// links is the per-(node, port) geometry/latency table (see link);
+	// uniformLat records whether every link shares the default latency, in
+	// which case staged arrivals are naturally FIFO-ordered by due cycle.
+	links      [][]link
+	uniformLat bool
 
 	routers []*router.Router
 	gen     traffic.Source
@@ -157,7 +183,7 @@ type Network struct {
 // set. gen is the traffic source polled once per cycle (any registered
 // traffic.Source — Poisson, bursty, replay, ...); nil runs a source-less
 // engine driven through Enqueue.
-func New(t *topology.Torus, f *fault.Set, alg routing.Router, gen traffic.Source, col *metrics.Collector, p Params, r *rng.Stream) *Network {
+func New(t topology.Network, f *fault.Set, alg routing.Router, gen traffic.Source, col *metrics.Collector, p Params, r *rng.Stream) *Network {
 	if p.V != alg.V() {
 		panic(fmt.Sprintf("network: params V=%d but algorithm V=%d", p.V, alg.V()))
 	}
@@ -183,6 +209,7 @@ func New(t *topology.Torus, f *fault.Set, alg routing.Router, gen traffic.Source
 	for id := 0; id < t.Nodes(); id++ {
 		n.routers[id] = router.New(topology.NodeID(id), t.N(), p.V, p.BufDepth)
 	}
+	n.buildLinkTable()
 	if p.DenseScan {
 		n.allIDs = make([]topology.NodeID, t.Nodes())
 		for id := range n.allIDs {
@@ -191,6 +218,57 @@ func New(t *topology.Torus, f *fault.Set, alg routing.Router, gen traffic.Source
 		n.work = n.allIDs
 	}
 	return n
+}
+
+// buildLinkTable precomputes downstream node, dateline crossing and
+// effective latency for every (node, port) so the per-flit hot path never
+// dispatches through the topology interface.
+func (nw *Network) buildLinkTable() {
+	degree := nw.t.Degree()
+	nw.uniformLat = true
+	nw.links = make([][]link, nw.t.Nodes())
+	for id := 0; id < nw.t.Nodes(); id++ {
+		row := make([]link, degree)
+		for p := 0; p < degree; p++ {
+			port := topology.Port(p)
+			dim, dir := port.Dim(), port.Dir()
+			if !nw.t.HasLink(topology.NodeID(id), dim, dir) {
+				row[p] = link{dst: -1}
+				continue
+			}
+			lat := nw.t.LinkLatency(topology.NodeID(id), port)
+			if lat == 0 {
+				lat = nw.p.LinkLatency
+			} else if lat != nw.p.LinkLatency {
+				nw.uniformLat = false
+			}
+			row[p] = link{
+				dst:   nw.t.Neighbor(topology.NodeID(id), dim, dir),
+				wraps: nw.t.WrapsAround(nw.t.Coord(topology.NodeID(id), dim), dir),
+				lat:   lat,
+			}
+		}
+		nw.links[id] = row
+	}
+}
+
+// linkFor resolves the geometry of the channel leaving node through port:
+// from the precomputed table, or through the topology interface when the
+// NoLinkCache ablation knob is set.
+func (nw *Network) linkFor(node topology.NodeID, port topology.Port) link {
+	if !nw.p.NoLinkCache {
+		return nw.links[node][port]
+	}
+	dim, dir := port.Dim(), port.Dir()
+	lat := nw.t.LinkLatency(node, port)
+	if lat == 0 {
+		lat = nw.p.LinkLatency
+	}
+	return link{
+		dst:   nw.t.Neighbor(node, dim, dir),
+		wraps: nw.t.WrapsAround(nw.t.Coord(node, dim), dir),
+		lat:   lat,
+	}
 }
 
 // markActive schedules a router for the next cycle's worklist. Safe to
@@ -447,17 +525,16 @@ func (nw *Network) moveNetwork(node topology.NodeID, rt *router.Router, port, vc
 	f := rt.Pop(port, vc)
 	ovc := &rt.Out[ivc.OutPort][ivc.OutVC]
 	ovc.Credits--
-	dim, dir := ivc.OutPort.Dim(), ivc.OutPort.Dir()
-	if f.IsHead() && nw.t.WrapsAround(nw.t.Coord(node, dim), dir) {
-		f.Msg.Crossed[dim] = true
+	lk := nw.linkFor(node, ivc.OutPort)
+	if f.IsHead() && lk.wraps {
+		f.Msg.Crossed[ivc.OutPort.Dim()] = true
 	}
-	dst := nw.t.Neighbor(node, dim, dir)
 	if f.IsHead() {
-		nw.trace(trace.Hop, f.Msg.ID, dst)
+		nw.trace(trace.Hop, f.Msg.ID, lk.dst)
 	}
-	nw.arrivals = append(nw.arrivals, arrivalEvent{
-		dueAt: nw.now + nw.p.LinkLatency - 1,
-		node:  dst,
+	nw.stageArrival(arrivalEvent{
+		dueAt: nw.now + lk.lat - 1,
+		node:  lk.dst,
 		port:  int(ivc.OutPort.Opposite()),
 		vc:    ivc.OutVC,
 		flit:  f,
@@ -531,7 +608,7 @@ func (nw *Network) returnCredit(node topology.NodeID, port, vc int) {
 		return
 	}
 	tp := topology.Port(port)
-	up := nw.t.Neighbor(node, tp.Dim(), tp.Dir())
+	up := nw.linkFor(node, tp).dst
 	nw.credits = append(nw.credits, creditEvent{
 		dueAt: nw.now + nw.p.CreditDelay - 1,
 		node:  up,
@@ -693,6 +770,23 @@ func (nw *Network) prepareForInjection(node topology.NodeID, m *message.Message)
 		}
 	}
 	return true
+}
+
+// stageArrival enqueues an in-flight link transfer. With uniform link
+// latency the queue is naturally due-ordered FIFO; a latmap overlay mixes
+// latencies, so the event is then inserted at its due position (after
+// every event with the same due cycle, preserving deterministic
+// same-cycle application order).
+func (nw *Network) stageArrival(ev arrivalEvent) {
+	n := len(nw.arrivals)
+	if nw.uniformLat || n == 0 || nw.arrivals[n-1].dueAt <= ev.dueAt {
+		nw.arrivals = append(nw.arrivals, ev)
+		return
+	}
+	i := sort.Search(n, func(i int) bool { return nw.arrivals[i].dueAt > ev.dueAt })
+	nw.arrivals = append(nw.arrivals, arrivalEvent{})
+	copy(nw.arrivals[i+1:], nw.arrivals[i:])
+	nw.arrivals[i] = ev
 }
 
 // applyStaged commits the flit arrivals and credit returns that are due at

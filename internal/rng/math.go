@@ -5,3 +5,6 @@ import "math"
 // mathLog is an alias for math.Log, split out so rng.go reads without the
 // math import tangled into the generator code.
 func mathLog(x float64) float64 { return math.Log(x) }
+
+// mathPow is the same arrangement for math.Pow, used by the Pareto sampler.
+func mathPow(x, y float64) float64 { return math.Pow(x, y) }

@@ -123,3 +123,16 @@ func (r *Stream) Shuffle(n int, swap func(i, j int)) {
 		swap(i, r.Intn(i+1))
 	}
 }
+
+// Pareto returns a Pareto-distributed value with the given shape alpha and
+// scale (minimum) xm, via the inverse CDF xm·U^(-1/alpha). Heavy-tailed
+// on/off traffic sources draw their phase durations from it; shapes in
+// (1, 2] have a finite mean but infinite variance, the regime that
+// produces burstiness across every time scale.
+func (r *Stream) Pareto(alpha, xm float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return xm * mathPow(u, -1/alpha)
+}

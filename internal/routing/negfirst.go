@@ -25,7 +25,7 @@ type NegativeFirst struct {
 
 // NewNegativeFirst builds negative-first routing over the deterministic
 // SW-Based base (V >= 2 for the torus dateline classes).
-func NewNegativeFirst(t *topology.Torus, f *fault.Set, v int) (*NegativeFirst, error) {
+func NewNegativeFirst(t topology.Network, f *fault.Set, v int) (*NegativeFirst, error) {
 	base, err := NewDeterministic(t, f, v)
 	if err != nil {
 		return nil, err
@@ -39,7 +39,7 @@ func (nf *NegativeFirst) Name() string { return "negative-first" }
 // negFirstMove returns the next negative-first minimal move from cur
 // towards target: the first dimension (ascending) whose minimal direction
 // is Minus, else the first needing Plus. ok is false at the target.
-func negFirstMove(t *topology.Torus, cur, target topology.NodeID) (dim int, dir topology.Dir, ok bool) {
+func negFirstMove(t topology.Network, cur, target topology.NodeID) (dim int, dir topology.Dir, ok bool) {
 	posDim := -1
 	for d := 0; d < t.N(); d++ {
 		c, tc := t.Coord(cur, d), t.Coord(target, d)
@@ -82,7 +82,7 @@ func (nf *NegativeFirst) Route(cur topology.NodeID, m *message.Message) Decision
 		return Decision{Outcome: AbsorbFault, BlockedDim: dim, BlockedDir: dir}
 	}
 	class := nf.datelineClass(cur, m, dim, dir)
-	lo, hi := detVCs(nf.v, class)
+	lo, hi := nf.detVCRange(class)
 	d := Decision{Outcome: Progress, Preferred: make([]CandidateVC, 0, hi-lo)}
 	for vc := lo; vc < hi; vc++ {
 		d.Preferred = append(d.Preferred, CandidateVC{Port: port, VC: vc})
@@ -94,9 +94,10 @@ func init() {
 	Register(Info{
 		Name:        "negative-first",
 		MinV:        2,
+		MinVNoWrap:  1,
 		Description: "turn-model negative-first (all minus-direction hops before plus) over SW-Based routing",
 		Aliases:     []string{"negfirst"},
-	}, func(t *topology.Torus, f *fault.Set, v int) (Router, error) {
+	}, func(t topology.Network, f *fault.Set, v int) (Router, error) {
 		return NewNegativeFirst(t, f, v)
 	})
 }

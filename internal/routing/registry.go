@@ -21,6 +21,10 @@ import (
 //     start in (it parameterises the traffic generator);
 //   - Topology/Faults expose the bound network for analysis tools.
 //
+// Algorithms are built against any registered topology.Network; an
+// algorithm that only supports some topology families declares them in
+// Info.Topologies and New rejects the rest.
+//
 // Implementations must be stateless with respect to messages (all
 // per-message state lives in the header) so a single-threaded engine and
 // the exhaustive walkers can share one instance.
@@ -30,7 +34,7 @@ type Router interface {
 	Name() string
 	V() int
 	BaseMode() message.Mode
-	Topology() *topology.Torus
+	Topology() topology.Network
 	Faults() *fault.Set
 }
 
@@ -44,18 +48,49 @@ type EscalationSetter interface {
 // Factory builds a configured Router bound to one topology, fault set and
 // virtual-channel count. Factories validate v themselves (and anything
 // else they need) so New surfaces per-algorithm errors directly.
-type Factory func(t *topology.Torus, f *fault.Set, v int) (Router, error)
+type Factory func(t topology.Network, f *fault.Set, v int) (Router, error)
 
 // Info describes a registered algorithm for listings and validation.
 type Info struct {
 	// Name is the primary registry key.
 	Name string
-	// MinV is the smallest legal virtual-channel count.
+	// MinV is the smallest legal virtual-channel count (on wrapping
+	// topologies, where the dateline VC classes apply).
 	MinV int
+	// MinVNoWrap is the smallest legal count on non-wrapping topologies
+	// (mesh), where dropping the dateline classes usually frees one VC;
+	// 0 means the same as MinV.
+	MinVNoWrap int
 	// Description is a one-line summary for -list style output.
 	Description string
 	// Aliases are additional keys resolving to the same factory.
 	Aliases []string
+	// Topologies lists the topology kinds (topology.Network.Kind values)
+	// the algorithm supports; empty means every registered topology.
+	Topologies []string
+}
+
+// MinVFor returns the smallest legal virtual-channel count on the given
+// network: MinVNoWrap on non-wrapping topologies when declared, MinV
+// otherwise.
+func (i Info) MinVFor(t topology.Network) int {
+	if !t.Wraps() && i.MinVNoWrap > 0 {
+		return i.MinVNoWrap
+	}
+	return i.MinV
+}
+
+// Supports reports whether the algorithm runs on the given topology kind.
+func (i Info) Supports(kind string) bool {
+	if len(i.Topologies) == 0 {
+		return true
+	}
+	for _, k := range i.Topologies {
+		if k == kind {
+			return true
+		}
+	}
+	return false
 }
 
 type regEntry struct {
@@ -93,13 +128,18 @@ func Register(info Info, factory Factory) {
 
 // New builds the registered algorithm called name (primary or alias) over
 // the given topology, fault set and virtual-channel count. Unknown names
-// report the available set.
-func New(name string, t *topology.Torus, f *fault.Set, v int) (Router, error) {
+// report the available set; algorithms that declare supported topologies
+// reject networks outside them.
+func New(name string, t topology.Network, f *fault.Set, v int) (Router, error) {
 	regMu.RLock()
 	e, ok := registry[name]
 	regMu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("routing: unknown algorithm %q (registered: %v)", name, Names())
+	}
+	if !e.info.Supports(t.Kind()) {
+		return nil, fmt.Errorf("routing: algorithm %q supports topologies %v, not %q",
+			name, e.info.Topologies, t.Kind())
 	}
 	return e.factory(t, f, v)
 }
@@ -141,31 +181,35 @@ func init() {
 	Register(Info{
 		Name:        "det",
 		MinV:        2,
+		MinVNoWrap:  1,
 		Description: "SW-Based-nD over dimension-order (e-cube) deterministic routing",
 		Aliases:     []string{"deterministic", "sw-based-deterministic"},
-	}, func(t *topology.Torus, f *fault.Set, v int) (Router, error) {
+	}, func(t topology.Network, f *fault.Set, v int) (Router, error) {
 		return NewDeterministic(t, f, v)
 	})
 	Register(Info{
 		Name:        "adaptive",
 		MinV:        3,
+		MinVNoWrap:  2,
 		Description: "SW-Based-nD over Duato-protocol fully adaptive routing",
 		Aliases:     []string{"duato", "sw-based-adaptive"},
-	}, func(t *topology.Torus, f *fault.Set, v int) (Router, error) {
+	}, func(t topology.Network, f *fault.Set, v int) (Router, error) {
 		return NewAdaptive(t, f, v)
 	})
 	Register(Info{
 		Name:        "valiant",
 		MinV:        2,
+		MinVNoWrap:  1,
 		Description: "Valiant two-phase load balancing over deterministic SW-Based routing",
-	}, func(t *topology.Torus, f *fault.Set, v int) (Router, error) {
+	}, func(t topology.Network, f *fault.Set, v int) (Router, error) {
 		return NewValiant(t, f, v, false)
 	})
 	Register(Info{
 		Name:        "valiant-adaptive",
 		MinV:        3,
+		MinVNoWrap:  2,
 		Description: "Valiant two-phase load balancing over adaptive SW-Based routing",
-	}, func(t *topology.Torus, f *fault.Set, v int) (Router, error) {
+	}, func(t topology.Network, f *fault.Set, v int) (Router, error) {
 		return NewValiant(t, f, v, true)
 	})
 }

@@ -32,7 +32,7 @@ func TestRegistryDuplicateRegistrationPanics(t *testing.T) {
 			t.Fatal("duplicate registration did not panic")
 		}
 	}()
-	Register(Info{Name: "det", MinV: 2}, func(tor *topology.Torus, f *fault.Set, v int) (Router, error) {
+	Register(Info{Name: "det", MinV: 2}, func(tor topology.Network, f *fault.Set, v int) (Router, error) {
 		return NewDeterministic(tor, f, v)
 	})
 }
@@ -64,14 +64,23 @@ func TestRegistryAliases(t *testing.T) {
 	}
 }
 
+// testNetFor returns a network the algorithm declares support for: the
+// torus by default, a same-sized mesh for mesh-only algorithms.
+func testNetFor(info Info, k, n int) topology.Network {
+	if info.Supports("torus") {
+		return topology.New(k, n)
+	}
+	return topology.NewMesh(k, n)
+}
+
 func TestRegistryMinVEnforced(t *testing.T) {
-	tor := topology.New(4, 2)
-	f := fault.NewSet(tor)
 	for _, info := range Algorithms() {
-		if _, err := New(info.Name, tor, f, info.MinV-1); err == nil {
+		net := testNetFor(info, 4, 2)
+		f := fault.NewSet(net)
+		if _, err := New(info.Name, net, f, info.MinV-1); err == nil {
 			t.Errorf("%s: V=%d below MinV=%d accepted", info.Name, info.MinV-1, info.MinV)
 		}
-		r, err := New(info.Name, tor, f, info.MinV)
+		r, err := New(info.Name, net, f, info.MinV)
 		if err != nil {
 			t.Errorf("%s: V=MinV=%d rejected: %v", info.Name, info.MinV, err)
 			continue
@@ -84,19 +93,19 @@ func TestRegistryMinVEnforced(t *testing.T) {
 
 // TestRegistryAllRouteFaultFree is the registry's executable contract:
 // every registered algorithm must route every (src, dst) pair of a
-// fault-free 8-ary 2-cube to delivery within the walker's step budget
-// (no livelock), with zero fault absorptions.
+// fault-free 8-ary 2-grid of a topology it supports to delivery within
+// the walker's step budget (no livelock), with zero fault absorptions.
 func TestRegistryAllRouteFaultFree(t *testing.T) {
-	tor := topology.New(8, 2)
-	f := fault.NewSet(tor)
 	for _, info := range Algorithms() {
 		info := info
 		t.Run(info.Name, func(t *testing.T) {
+			net := testNetFor(info, 8, 2)
+			f := fault.NewSet(net)
 			v := info.MinV
 			if v < 4 {
 				v = 4
 			}
-			a, err := New(info.Name, tor, f, v)
+			a, err := New(info.Name, net, f, v)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -127,16 +136,16 @@ func TestRegistryAllRouteFaultFree(t *testing.T) {
 // every healthy pair (the SW-Based planner guarantees this for any
 // non-disconnecting pattern).
 func TestRegistryAllRouteWithFaults(t *testing.T) {
-	tor := topology.New(8, 2)
-	f := mustRandomFaults(t, tor, 5, 9)
 	for _, info := range Algorithms() {
 		info := info
 		t.Run(info.Name, func(t *testing.T) {
+			net := testNetFor(info, 8, 2)
+			f := mustRandomFaults(t, net, 5, 9)
 			v := info.MinV
 			if v < 4 {
 				v = 4
 			}
-			a, err := New(info.Name, tor, f, v)
+			a, err := New(info.Name, net, f, v)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -184,7 +193,7 @@ func TestValiantDetourInstalledOnce(t *testing.T) {
 	}
 }
 
-func mustRandomFaults(t *testing.T, tor *topology.Torus, nf int, seed uint64) *fault.Set {
+func mustRandomFaults(t *testing.T, tor topology.Network, nf int, seed uint64) *fault.Set {
 	t.Helper()
 	fs, err := fault.Random(tor, nf, rng.New(seed), fault.DefaultRandomOptions())
 	if err != nil {

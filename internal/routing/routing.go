@@ -93,36 +93,50 @@ type Decision struct {
 // messages (all per-message state lives in the header), hence safe for
 // concurrent use by a single-threaded engine or by tests.
 type Algorithm struct {
-	t        *topology.Torus
+	t        topology.Network
 	f        *fault.Set
 	idx      *fault.Index
 	v        int
 	adaptive bool
-	planner  *Planner
+	// wraps caches t.Wraps(): with wraparound links the dateline VC-class
+	// discipline applies (two banks, two escape channels); without them
+	// (mesh) every VC collapses into a single class.
+	wraps   bool
+	planner *Planner
 }
 
 // NewDeterministic returns the SW-Based-nD algorithm over deterministic
 // (e-cube) base routing. V is the number of virtual channels per physical
-// channel; at least 2 are required for the torus dateline classes.
-func NewDeterministic(t *topology.Torus, f *fault.Set, v int) (*Algorithm, error) {
-	if v < 2 {
-		return nil, fmt.Errorf("routing: deterministic torus routing needs V >= 2, got %d", v)
+// channel; wrapping topologies (torus) require at least 2 for the dateline
+// classes, meshes at least 1.
+func NewDeterministic(t topology.Network, f *fault.Set, v int) (*Algorithm, error) {
+	min := 1
+	if t.Wraps() {
+		min = 2
+	}
+	if v < min {
+		return nil, fmt.Errorf("routing: deterministic routing on %s needs V >= %d, got %d", t, min, v)
 	}
 	return newAlgorithm(t, f, v, false), nil
 }
 
 // NewAdaptive returns the SW-Based-nD algorithm over Duato-protocol fully
-// adaptive base routing. V must be at least 3: two escape channels (dateline
-// classes) plus at least one adaptive channel.
-func NewAdaptive(t *topology.Torus, f *fault.Set, v int) (*Algorithm, error) {
-	if v < 3 {
-		return nil, fmt.Errorf("routing: adaptive torus routing needs V >= 3, got %d", v)
+// adaptive base routing. Wrapping topologies (torus) need V >= 3: two
+// escape channels (dateline classes) plus at least one adaptive channel;
+// meshes need V >= 2 (single escape channel).
+func NewAdaptive(t topology.Network, f *fault.Set, v int) (*Algorithm, error) {
+	min := 2
+	if t.Wraps() {
+		min = 3
+	}
+	if v < min {
+		return nil, fmt.Errorf("routing: adaptive routing on %s needs V >= %d, got %d", t, min, v)
 	}
 	return newAlgorithm(t, f, v, true), nil
 }
 
-func newAlgorithm(t *topology.Torus, f *fault.Set, v int, adaptive bool) *Algorithm {
-	a := &Algorithm{t: t, f: f, idx: fault.NewIndex(f), v: v, adaptive: adaptive}
+func newAlgorithm(t topology.Network, f *fault.Set, v int, adaptive bool) *Algorithm {
+	a := &Algorithm{t: t, f: f, idx: fault.NewIndex(f), v: v, adaptive: adaptive, wraps: t.Wraps()}
 	a.planner = &Planner{t: t, f: f, idx: a.idx}
 	return a
 }
@@ -154,8 +168,8 @@ func (a *Algorithm) BaseMode() message.Mode {
 // V returns the configured virtual channel count per physical channel.
 func (a *Algorithm) V() int { return a.v }
 
-// Topology returns the bound torus.
-func (a *Algorithm) Topology() *topology.Torus { return a.t }
+// Topology returns the bound network.
+func (a *Algorithm) Topology() topology.Network { return a.t }
 
 // Faults returns the bound fault configuration.
 func (a *Algorithm) Faults() *fault.Set { return a.f }
@@ -171,12 +185,34 @@ func detVCs(v, class int) (lo, hi int) {
 	return half, v
 }
 
-// Escape channel indices for adaptive routing: VC 0 carries dateline class
-// 0, VC 1 class 1; VCs [2, V) are fully adaptive.
+// detVCRange returns the usable deterministic-mode VC bank for a dateline
+// class on this algorithm's topology. Non-wrapping networks have no
+// dateline, so the split disappears and every VC is usable — the mesh
+// dividend of dropping the wraparound VC-class requirement.
+func (a *Algorithm) detVCRange(class int) (lo, hi int) {
+	if !a.wraps {
+		return 0, a.v
+	}
+	return detVCs(a.v, class)
+}
+
+// adaptiveLow returns the first fully adaptive VC index: above the two
+// dateline escape channels on wrapping topologies, above the single escape
+// channel on meshes.
+func (a *Algorithm) adaptiveLow() int {
+	if !a.wraps {
+		return 1
+	}
+	return adaptiveLowTorus
+}
+
+// Escape channel indices for adaptive routing on wrapping topologies:
+// VC 0 carries dateline class 0, VC 1 class 1; VCs [2, V) are fully
+// adaptive. Meshes have a single escape channel (VC 0) and adapt on [1, V).
 const (
-	escapeVC0   = 0
-	escapeVC1   = 1
-	adaptiveLow = 2
+	escapeVC0        = 0
+	escapeVC1        = 1
+	adaptiveLowTorus = 2
 )
 
 // datelineClass computes the dateline virtual-channel class for a hop from
@@ -192,7 +228,7 @@ func (a *Algorithm) datelineClass(cur topology.NodeID, m *message.Message, dim i
 // increasing order) from cur towards target, honouring per-dimension
 // direction overrides from the rerouting tables. ok is false when cur equals
 // target.
-func detNextMove(t *topology.Torus, cur, target topology.NodeID, override []topology.Dir) (dim int, dir topology.Dir, ok bool) {
+func detNextMove(t topology.Network, cur, target topology.NodeID, override []topology.Dir) (dim int, dir topology.Dir, ok bool) {
 	for d := 0; d < t.N(); d++ {
 		c, tc := t.Coord(cur, d), t.Coord(target, d)
 		if c == tc {
@@ -234,7 +270,7 @@ func (a *Algorithm) routeDeterministic(cur topology.NodeID, m *message.Message) 
 		return Decision{Outcome: AbsorbFault, BlockedDim: dim, BlockedDir: dir}
 	}
 	class := a.datelineClass(cur, m, dim, dir)
-	lo, hi := detVCs(a.v, class)
+	lo, hi := a.detVCRange(class)
 	d := Decision{Outcome: Progress, Preferred: make([]CandidateVC, 0, hi-lo)}
 	for vc := lo; vc < hi; vc++ {
 		d.Preferred = append(d.Preferred, CandidateVC{Port: port, VC: vc})
@@ -269,7 +305,7 @@ func (a *Algorithm) routeAdaptive(cur topology.NodeID, m *message.Message) Decis
 				continue
 			}
 			anyProfitable = true
-			for vc := adaptiveLow; vc < a.v; vc++ {
+			for vc := a.adaptiveLow(); vc < a.v; vc++ {
 				dec.Preferred = append(dec.Preferred, CandidateVC{Port: port, VC: vc})
 			}
 		}

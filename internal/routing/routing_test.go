@@ -206,7 +206,7 @@ func TestAdaptiveCandidatesMinimalAndHealthy(t *testing.T) {
 		t.Fatalf("preferred count = %d, want 8", len(dec.Preferred))
 	}
 	for _, c := range dec.Preferred {
-		if c.VC < adaptiveLow {
+		if c.VC < adaptiveLowTorus {
 			t.Errorf("adaptive candidate on escape VC %d", c.VC)
 		}
 		if c.Port.Dir() != topology.Plus {

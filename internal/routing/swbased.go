@@ -36,7 +36,7 @@ import (
 // so every in-network worm is a plain e-cube worm: the channel dependency
 // graph stays acyclic exactly as in the 2-D proof the paper inherits.
 type Planner struct {
-	t   *topology.Torus
+	t   topology.Network
 	f   *fault.Set
 	idx *fault.Index
 	// escalateAfter bounds the heuristic phase: once a message has been
@@ -56,7 +56,7 @@ const DefaultEscalation = 6
 // NewPlanner builds a planner for the given topology and fault
 // configuration. Algorithm embeds one; standalone construction is exposed
 // for tests and analysis tools.
-func NewPlanner(t *topology.Torus, f *fault.Set, idx *fault.Index) *Planner {
+func NewPlanner(t topology.Network, f *fault.Set, idx *fault.Index) *Planner {
 	if idx == nil {
 		idx = fault.NewIndex(f)
 	}
@@ -77,10 +77,16 @@ func partner(d, n int) int {
 	return d - 1
 }
 
-// maxRun is the longest straight ring run installed per via-chain segment:
-// strictly less than k/2 so the minimal-direction rule reproduces the
-// intended direction exactly.
-func (p *Planner) maxRun() int { return (p.t.K() - 1) / 2 }
+// maxRun is the longest straight run installed per via-chain segment. On a
+// torus it is strictly less than k/2 so the minimal-direction rule
+// reproduces the intended direction exactly; a mesh line has a unique
+// direction, so whole-line runs are safe.
+func (p *Planner) maxRun() int {
+	if !p.t.Wraps() {
+		return p.t.K() - 1
+	}
+	return (p.t.K() - 1) / 2
+}
 
 // escalation is the absorption count past which Plan skips the heuristics
 // and installs an exact detour immediately.
@@ -104,8 +110,11 @@ func (p *Planner) Plan(cur topology.NodeID, m *message.Message, blockedDim int, 
 	}
 
 	d, s := blockedDim, blockedDir
-	// T1: reverse within the same dimension.
-	if !m.Reversed[d] {
+	// T1: reverse within the same dimension. Reversal relies on the ring
+	// closing — the opposite way around reaches the same coordinate — so it
+	// is skipped entirely on non-wrapping topologies (mesh), where walking
+	// away from the target can only end at a dead edge.
+	if p.t.Wraps() && !m.Reversed[d] {
 		m.Reversed[d] = true
 		m.DirOverride[d] = s.Opposite()
 		if !p.f.LinkFaulty(cur, topology.PortFor(d, s.Opposite())) {
@@ -147,6 +156,11 @@ func (p *Planner) Plan(cur topology.NodeID, m *message.Message, blockedDim int, 
 func (p *Planner) orthoDetour(cur topology.NodeID, m *message.Message, d int, s topology.Dir, o int) bool {
 	k := p.t.K()
 	blocking := p.t.Neighbor(cur, d, s)
+	if blocking < 0 {
+		// The blocked move points off a mesh edge: there is no region to
+		// steer around, only the heuristics' dead end. Defer to T3.
+		return false
+	}
 	var ivO, ivD fault.Interval
 	if reg := p.idx.Of(blocking); reg != nil {
 		ivO = reg.Extent(o)
@@ -214,6 +228,9 @@ func (p *Planner) segmentPath(from, to topology.NodeID, override []topology.Dir)
 		if !ok {
 			return nil
 		}
+		if !p.t.HasLink(cur, dim, dir) {
+			return nil // override walked off a mesh edge: no such path
+		}
 		cur = p.t.Neighbor(cur, dim, dir)
 		path = append(path, cur)
 		if len(path) > limit {
@@ -238,7 +255,7 @@ func (p *Planner) planePath(cur topology.NodeID, m *message.Message, d, o int) b
 	if proj == cur {
 		return false
 	}
-	pl := p.t.PlaneThrough(cur, d, o)
+	pl := topology.PlaneOf(p.t, cur, d, o)
 	path := p.bfs(cur, proj, func(id topology.NodeID) bool { return pl.Contains(id) })
 	if path == nil {
 		return false

@@ -30,7 +30,7 @@ type Valiant struct {
 // NewValiant builds Valiant two-phase routing over the deterministic
 // (adaptiveBase false, V >= 2) or Duato adaptive (adaptiveBase true,
 // V >= 3) SW-Based base.
-func NewValiant(t *topology.Torus, f *fault.Set, v int, adaptiveBase bool) (*Valiant, error) {
+func NewValiant(t topology.Network, f *fault.Set, v int, adaptiveBase bool) (*Valiant, error) {
 	var base *Algorithm
 	var err error
 	if adaptiveBase {

@@ -1,0 +1,412 @@
+package topology
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Network is the pluggable topology interface: everything the routing
+// algorithms, the flit-level engine, the fault model and the workload
+// generators need from an interconnection network goes through it, so new
+// topologies plug in by registration alone, exactly like routing algorithms
+// and traffic patterns.
+//
+// The model is a regular direct network laid out on an n-dimensional grid:
+// every node carries an n-digit radix-k address, and the only hops are ±1
+// moves along one dimension. Implementations differ in which of those hops
+// carry links (torus: all, with wraparound; mesh: interior only) and in the
+// per-dimension distance geometry that follows. Port numbering, flit
+// buffering and virtual-channel structure are shared across topologies (see
+// Port).
+//
+// All methods must be safe for concurrent use; networks are immutable after
+// construction.
+type Network interface {
+	// Kind is the primary registry name of the topology family ("torus",
+	// "mesh"); aliases (hypercube) report their underlying family.
+	Kind() string
+	// Spec renders the canonical spec string reconstructing this network,
+	// e.g. "torus:k=8,n=2".
+	Spec() string
+	// K is the radix (nodes per dimension) and N the number of dimensions.
+	K() int
+	N() int
+	// Nodes is the total node count.
+	Nodes() int
+	// Degree is the number of network ports per router (2 per dimension;
+	// edge routers of non-wrapping topologies simply leave ports unwired).
+	Degree() int
+	// Wraps reports whether the topology has wraparound links. Routing uses
+	// it to decide whether dateline virtual-channel classes are required
+	// and whether direction-reversal detours can succeed.
+	Wraps() bool
+	// Coord returns the address digit of id along dim; Coords the full
+	// address; FromCoords its inverse (digits reduced mod k so callers may
+	// pass unnormalised coordinates).
+	Coord(id NodeID, dim int) int
+	Coords(id NodeID) []int
+	FromCoords(c []int) NodeID
+	// Valid reports whether id is a legal node identifier.
+	Valid(id NodeID) bool
+	// HasLink reports whether a physical channel leaves id along dim in
+	// direction dir. Tori always have one; meshes lack them at the edges.
+	HasLink(id NodeID, dim int, dir Dir) bool
+	// Neighbor returns the node one hop from id along dim towards dir, or
+	// -1 when no such link exists (query HasLink first on possibly-edge
+	// moves; indexing by a -1 node id is a programming error).
+	Neighbor(id NodeID, dim int, dir Dir) NodeID
+	// RingOffset returns the signed minimal hop offset from coordinate a to
+	// b along one dimension (wraparound-aware on tori, plain difference on
+	// meshes); RingDist its absolute value.
+	RingOffset(a, b int) int
+	RingDist(a, b int) int
+	// Distance returns the minimal hop count between two nodes.
+	Distance(a, b NodeID) int
+	// BothMinimal reports whether both directions along dim are minimal
+	// from src to dst (possible only on tori with even k at offset k/2).
+	BothMinimal(src, dst NodeID, dim int) bool
+	// WrapsAround reports whether one hop from coordinate c towards dir
+	// crosses the wraparound (dateline) edge. Always false on meshes.
+	WrapsAround(c int, dir Dir) bool
+	// LinkLatency returns the flit time across the channel leaving src
+	// through port, or 0 to defer to the engine's configured default. Base
+	// topologies return 0 everywhere; the latmap overlay overrides
+	// individual links (non-uniform wires).
+	LinkLatency(src NodeID, port Port) int64
+	// String renders a human-readable summary; FormatNode one address.
+	String() string
+	FormatNode(id NodeID) string
+}
+
+// Factory builds a configured Network from its parsed spec (the reserved
+// latmap parameter is stripped before the factory runs). Factories validate
+// their own parameters so New surfaces per-topology errors directly.
+type Factory func(spec Spec) (Network, error)
+
+// Info describes a registered topology for listings and validation.
+type Info struct {
+	// Name is the primary registry key.
+	Name string
+	// Usage is the spec grammar, e.g. "torus[:k=<radix>,n=<dims>]".
+	Usage string
+	// Description is a one-line summary for -list style output.
+	Description string
+	// Aliases are additional keys resolving to the same factory.
+	Aliases []string
+}
+
+type topoEntry struct {
+	info    Info
+	check   func(Spec) error
+	factory Factory
+}
+
+var (
+	topoMu      sync.RWMutex
+	topoReg     = make(map[string]*topoEntry) // primary name and aliases -> entry
+	topoPrimary []string                      // primary names, registration order
+)
+
+// Register adds a topology to the registry under info.Name and every alias.
+// check statically validates a parsed spec's parameters (nil for none). It
+// panics on a duplicate key or nil factory — registration happens in
+// package init functions where a panic is a build-time bug.
+func Register(info Info, check func(Spec) error, factory Factory) {
+	if info.Name == "" {
+		panic("topology: Register with empty name")
+	}
+	if factory == nil {
+		panic(fmt.Sprintf("topology: Register(%q) with nil factory", info.Name))
+	}
+	topoMu.Lock()
+	defer topoMu.Unlock()
+	e := &topoEntry{info: info, check: check, factory: factory}
+	for _, key := range append([]string{info.Name}, info.Aliases...) {
+		if _, dup := topoReg[key]; dup {
+			panic(fmt.Sprintf("topology: duplicate registration of topology %q", key))
+		}
+		topoReg[key] = e
+	}
+	topoPrimary = append(topoPrimary, info.Name)
+}
+
+// resolve parses a spec string, splits off the reserved latmap parameter,
+// and finds the registry entry for the remaining spec.
+func resolve(specStr string) (*topoEntry, Spec, string, error) {
+	spec, err := ParseSpec(specStr)
+	if err != nil {
+		return nil, Spec{}, "", err
+	}
+	latmap := ""
+	kept := spec.Params[:0]
+	for _, p := range spec.Params {
+		if p.Key == "latmap" {
+			latmap = p.Value
+			continue
+		}
+		kept = append(kept, p)
+	}
+	spec.Params = kept
+	topoMu.RLock()
+	e, ok := topoReg[spec.Name]
+	topoMu.RUnlock()
+	if !ok {
+		return nil, Spec{}, "", fmt.Errorf("topology: unknown topology %q (registered: %v)", spec.Name, Names())
+	}
+	return e, spec, latmap, nil
+}
+
+// NewNetwork builds the network described by a spec string ("torus:k=8,n=2",
+// "mesh:k=8,n=2", "hypercube:n=10", any of them with ",latmap=<file>").
+func NewNetwork(specStr string) (Network, error) {
+	e, spec, latmap, err := resolve(specStr)
+	if err != nil {
+		return nil, err
+	}
+	net, err := e.factory(spec)
+	if err != nil {
+		return nil, err
+	}
+	if latmap != "" {
+		return LoadLatencyOverlay(net, latmap)
+	}
+	return net, nil
+}
+
+// Check statically validates a topology spec string — parseable, registered
+// name, well-formed parameters — without building the network or touching
+// the latmap file (an environmental input checked at construction).
+func Check(specStr string) (Spec, Info, error) {
+	e, spec, _, err := resolve(specStr)
+	if err != nil {
+		return Spec{}, Info{}, err
+	}
+	if e.check != nil {
+		if err := e.check(spec); err != nil {
+			return Spec{}, Info{}, err
+		}
+	}
+	return spec, e.info, nil
+}
+
+// Lookup returns the Info for a registered name (primary or alias).
+func Lookup(name string) (Info, bool) {
+	topoMu.RLock()
+	defer topoMu.RUnlock()
+	e, ok := topoReg[name]
+	if !ok {
+		return Info{}, false
+	}
+	return e.info, true
+}
+
+// Names returns the primary registered topology names, sorted.
+func Names() []string {
+	topoMu.RLock()
+	out := append([]string(nil), topoPrimary...)
+	topoMu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Topologies returns the Info of every registered topology, sorted by
+// primary name.
+func Topologies() []Info {
+	topoMu.RLock()
+	out := make([]Info, 0, len(topoPrimary))
+	for _, name := range topoPrimary {
+		out = append(out, topoReg[name].info)
+	}
+	topoMu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// maxNodes bounds constructible networks so a typo'd spec cannot allocate
+// the machine away (engines allocate per-node state eagerly).
+const maxNodes = 1 << 24
+
+// checkDims validates the shared (k, n) parameters of grid topologies.
+func checkDims(k, n int) error {
+	if k < 2 {
+		return fmt.Errorf("topology: radix k must be >= 2, got %d", k)
+	}
+	if n < 1 {
+		return fmt.Errorf("topology: dimension n must be >= 1, got %d", n)
+	}
+	nodes := 1
+	for i := 0; i < n; i++ {
+		if nodes > maxNodes/k {
+			return fmt.Errorf("topology: %d-ary %d-grid exceeds the %d-node limit", k, n, maxNodes)
+		}
+		nodes *= k
+	}
+	return nil
+}
+
+func parseGridSpec(spec Spec) (k, n int, err error) {
+	a := newSpecArgs(spec)
+	k = a.Int("k", 8)
+	n = a.Int("n", 2)
+	if err := a.finish(); err != nil {
+		return 0, 0, err
+	}
+	return k, n, checkDims(k, n)
+}
+
+func parseHypercubeSpec(spec Spec) (n int, err error) {
+	a := newSpecArgs(spec)
+	n = a.Int("n", 10)
+	if err := a.finish(); err != nil {
+		return 0, err
+	}
+	return n, checkDims(2, n)
+}
+
+func init() {
+	Register(Info{
+		Name:        "torus",
+		Usage:       "torus[:k=<radix>,n=<dims>]",
+		Description: "k-ary n-cube with wraparound links (the paper's networks); defaults k=8,n=2",
+		Aliases:     []string{"k-ary-n-cube"},
+	}, func(spec Spec) error {
+		_, _, err := parseGridSpec(spec)
+		return err
+	}, func(spec Spec) (Network, error) {
+		k, n, err := parseGridSpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		return New(k, n), nil
+	})
+
+	Register(Info{
+		Name:        "mesh",
+		Usage:       "mesh[:k=<radix>,n=<dims>]",
+		Description: "k-ary n-mesh: no wraparound links, so no dateline VC classes; defaults k=8,n=2",
+	}, func(spec Spec) error {
+		_, _, err := parseGridSpec(spec)
+		return err
+	}, func(spec Spec) (Network, error) {
+		k, n, err := parseGridSpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		return NewMesh(k, n), nil
+	})
+
+	Register(Info{
+		Name:        "hypercube",
+		Usage:       "hypercube[:n=<dims>]",
+		Description: "binary n-cube (2-ary n-torus alias); defaults n=10",
+		Aliases:     []string{"binary-n-cube"},
+	}, func(spec Spec) error {
+		_, err := parseHypercubeSpec(spec)
+		return err
+	}, func(spec Spec) (Network, error) {
+		n, err := parseHypercubeSpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		return New(2, n), nil
+	})
+}
+
+// LatencyOverlay decorates a base network with a per-link latency map
+// (non-uniform wires: long backplane hops, optical links, chiplet
+// boundaries). Links absent from the map keep latency 0, i.e. the engine's
+// configured default.
+type LatencyOverlay struct {
+	Network
+	lat  map[ChannelID]int64
+	file string
+}
+
+// NewLatencyOverlay wraps base with explicit per-link latencies. Every
+// mapped channel must exist in base and carry a latency >= 1.
+func NewLatencyOverlay(base Network, lat map[ChannelID]int64) (*LatencyOverlay, error) {
+	for ch, l := range lat {
+		if !base.Valid(ch.Src) || !base.HasLink(ch.Src, ch.Port.Dim(), ch.Port.Dir()) {
+			return nil, fmt.Errorf("topology: latmap names nonexistent channel %v", ch)
+		}
+		if l < 1 {
+			return nil, fmt.Errorf("topology: latmap channel %v: latency must be >= 1, got %d", ch, l)
+		}
+	}
+	return &LatencyOverlay{Network: base, lat: lat}, nil
+}
+
+// LoadLatencyOverlay reads a latmap CSV (lines "src,port,latency"; '#'
+// comments and blank lines ignored) and wraps base with it. Each line sets
+// the latency of the unidirectional channel leaving node src through port.
+func LoadLatencyOverlay(base Network, file string) (*LatencyOverlay, error) {
+	f, err := os.Open(file)
+	if err != nil {
+		return nil, fmt.Errorf("topology: latmap: %w", err)
+	}
+	defer f.Close()
+	lat := make(map[ChannelID]int64)
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("topology: latmap %s:%d: want src,port,latency", file, lineNo)
+		}
+		src, err1 := strconv.Atoi(strings.TrimSpace(parts[0]))
+		port, err2 := strconv.Atoi(strings.TrimSpace(parts[1]))
+		l, err3 := strconv.ParseInt(strings.TrimSpace(parts[2]), 10, 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("topology: latmap %s:%d: want integer src,port,latency", file, lineNo)
+		}
+		if port < 0 || port >= base.Degree() {
+			return nil, fmt.Errorf("topology: latmap %s:%d: port %d out of range [0,%d)", file, lineNo, port, base.Degree())
+		}
+		lat[ChannelID{Src: NodeID(src), Port: Port(port)}] = l
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("topology: latmap: %w", err)
+	}
+	ov, err := NewLatencyOverlay(base, lat)
+	if err != nil {
+		return nil, err
+	}
+	ov.file = file
+	return ov, nil
+}
+
+// LinkLatency returns the mapped latency, or 0 (engine default) for
+// unmapped links.
+func (o *LatencyOverlay) LinkLatency(src NodeID, port Port) int64 {
+	return o.lat[ChannelID{Src: src, Port: port}]
+}
+
+// Spec renders the base spec with the latmap parameter re-attached.
+func (o *LatencyOverlay) Spec() string {
+	if o.file == "" {
+		return o.Network.Spec()
+	}
+	return o.Network.Spec() + ",latmap=" + o.file
+}
+
+// String summarises the base network plus the overlay size.
+func (o *LatencyOverlay) String() string {
+	return fmt.Sprintf("%s with %d-link latency overlay", o.Network.String(), len(o.lat))
+}
+
+// Compile-time conformance checks: every shipped topology satisfies Network.
+var (
+	_ Network = (*Torus)(nil)
+	_ Network = (*Mesh)(nil)
+	_ Network = (*LatencyOverlay)(nil)
+)

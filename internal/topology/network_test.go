@@ -1,0 +1,233 @@
+package topology
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRegistryBuildsRegisteredTopologies checks the happy paths of the
+// registry: names, aliases, parameters and defaults all resolve to the
+// expected concrete networks.
+func TestRegistryBuildsRegisteredTopologies(t *testing.T) {
+	for _, tc := range []struct {
+		spec        string
+		kind        string
+		k, n, nodes int
+		wraps       bool
+	}{
+		{"torus", "torus", 8, 2, 64, true},
+		{"torus:k=4,n=3", "torus", 4, 3, 64, true},
+		{"k-ary-n-cube:k=6,n=2", "torus", 6, 2, 36, true},
+		{"mesh", "mesh", 8, 2, 64, false},
+		{"mesh:k=5,n=2", "mesh", 5, 2, 25, false},
+		{"hypercube:n=4", "torus", 2, 4, 16, true},
+		{"binary-n-cube:n=3", "torus", 2, 3, 8, true},
+	} {
+		net, err := NewNetwork(tc.spec)
+		if err != nil {
+			t.Errorf("NewNetwork(%q): %v", tc.spec, err)
+			continue
+		}
+		if net.Kind() != tc.kind || net.K() != tc.k || net.N() != tc.n ||
+			net.Nodes() != tc.nodes || net.Wraps() != tc.wraps {
+			t.Errorf("NewNetwork(%q) = %s (kind %s, k=%d, n=%d, nodes=%d, wraps=%v)",
+				tc.spec, net, net.Kind(), net.K(), net.N(), net.Nodes(), net.Wraps())
+		}
+		// The canonical spec must rebuild an identical network.
+		again, err := NewNetwork(net.Spec())
+		if err != nil {
+			t.Errorf("round-trip NewNetwork(%q): %v", net.Spec(), err)
+		} else if again.Kind() != net.Kind() || again.Nodes() != net.Nodes() {
+			t.Errorf("spec round trip %q changed the network", net.Spec())
+		}
+	}
+}
+
+// TestRegistryRejectsBadSpecs pins the registry's error paths: unknown
+// names, malformed grammar, out-of-range and unknown parameters.
+func TestRegistryRejectsBadSpecs(t *testing.T) {
+	for _, spec := range []string{
+		"moebius",         // unknown name
+		"torus:k=1",       // radix below 2
+		"torus:n=0",       // dimension below 1
+		"torus:k=abc",     // not an integer
+		"torus:radix=8",   // unknown parameter
+		"mesh:k=9999,n=9", // over the node limit
+		"hypercube:k=3",   // hypercube has no radix parameter
+		"torus:",          // empty parameter list
+		"torus:k",         // not key=value
+		"torus:k=8,k=9",   // duplicate key
+		"Torus",           // upper case name
+	} {
+		if _, err := NewNetwork(spec); err == nil {
+			t.Errorf("NewNetwork(%q) accepted", spec)
+		}
+		if _, _, err := Check(spec); err == nil {
+			t.Errorf("Check(%q) accepted", spec)
+		}
+	}
+	if _, ok := Lookup("moebius"); ok {
+		t.Error("Lookup found an unregistered topology")
+	}
+	if _, err := NewNetwork("moebius"); err == nil || !strings.Contains(err.Error(), "registered:") {
+		t.Errorf("unknown-topology error does not list the registry: %v", err)
+	}
+}
+
+// TestRegistryDuplicatePanics pins the build-time contract: double
+// registration and nil factories are programming errors.
+func TestRegistryDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	Register(Info{Name: "torus"}, nil, func(spec Spec) (Network, error) { return New(8, 2), nil })
+}
+
+func TestRegistryNilFactoryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil factory did not panic")
+		}
+	}()
+	Register(Info{Name: "brand-new"}, nil, nil)
+}
+
+// TestMeshGeometry checks the mesh against the torus where they must agree
+// (interior geometry) and differ (edges, distances, datelines).
+func TestMeshGeometry(t *testing.T) {
+	m := NewMesh(4, 2)
+	if m.Degree() != 4 || m.Nodes() != 16 {
+		t.Fatalf("mesh shape: degree %d, nodes %d", m.Degree(), m.Nodes())
+	}
+	// Edge behaviour: node (0,0) has no -d0/-d1 links, (3,3) no +d0/+d1.
+	origin := m.FromCoords([]int{0, 0})
+	corner := m.FromCoords([]int{3, 3})
+	if m.HasLink(origin, 0, Minus) || m.HasLink(origin, 1, Minus) {
+		t.Error("origin has outward minus links")
+	}
+	if m.HasLink(corner, 0, Plus) || m.HasLink(corner, 1, Plus) {
+		t.Error("corner has outward plus links")
+	}
+	if nb := m.Neighbor(origin, 0, Minus); nb != -1 {
+		t.Errorf("Neighbor off the edge = %d, want -1", nb)
+	}
+	if nb := m.Neighbor(origin, 0, Plus); nb != m.FromCoords([]int{1, 0}) {
+		t.Errorf("interior Neighbor = %d", nb)
+	}
+	// Distances are Manhattan: corner to corner is 2(k-1), not 2 as on the
+	// torus.
+	if d := m.Distance(origin, corner); d != 6 {
+		t.Errorf("mesh corner distance = %d, want 6", d)
+	}
+	if d := New(4, 2).Distance(origin, corner); d != 2 {
+		t.Errorf("torus corner distance = %d, want 2 (wraparound)", d)
+	}
+	// No datelines, no double-minimal ties.
+	for c := 0; c < 4; c++ {
+		if m.WrapsAround(c, Plus) || m.WrapsAround(c, Minus) {
+			t.Errorf("mesh WrapsAround(%d) true", c)
+		}
+	}
+	if m.BothMinimal(origin, corner, 0) {
+		t.Error("mesh BothMinimal true")
+	}
+	if m.RingOffset(3, 0) != -3 || m.RingOffset(0, 3) != 3 {
+		t.Error("mesh RingOffset wraps")
+	}
+	// ChannelsOf skips unwired edge ports: a k-ary n-mesh has 2n(k-1)k^(n-1)
+	// unidirectional channels, the torus the full 2nk^n.
+	if got, want := len(ChannelsOf(m)), 2*2*3*4; got != want {
+		t.Errorf("mesh channels = %d, want %d", got, want)
+	}
+	if got, want := len(ChannelsOf(New(4, 2))), 2*2*16; got != want {
+		t.Errorf("torus channels = %d, want %d", got, want)
+	}
+}
+
+// TestLatencyOverlay checks the latmap decorator: file parsing, per-link
+// override, pass-through of unmapped links, and validation of nonexistent
+// channels and degenerate latencies.
+func TestLatencyOverlay(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "lat.csv")
+	content := "# src,port,latency\n5,0,3\n5,1,4\n\n12,2,7\n"
+	if err := os.WriteFile(file, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	net, err := NewNetwork("torus:k=8,n=2,latmap=" + file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := net.LinkLatency(5, 0); got != 3 {
+		t.Errorf("LinkLatency(5,0) = %d, want 3", got)
+	}
+	if got := net.LinkLatency(5, 1); got != 4 {
+		t.Errorf("LinkLatency(5,1) = %d, want 4", got)
+	}
+	if got := net.LinkLatency(12, 2); got != 7 {
+		t.Errorf("LinkLatency(12,2) = %d, want 7", got)
+	}
+	if got := net.LinkLatency(6, 0); got != 0 {
+		t.Errorf("unmapped LinkLatency = %d, want 0 (engine default)", got)
+	}
+	// The overlay must keep the base geometry and advertise itself in Spec.
+	if net.Kind() != "torus" || net.Nodes() != 64 {
+		t.Errorf("overlay changed the base network: %s", net)
+	}
+	if !strings.Contains(net.Spec(), "latmap=") {
+		t.Errorf("overlay spec lost the latmap: %q", net.Spec())
+	}
+
+	// Error paths: missing file, malformed line, nonexistent channel
+	// (mesh edge), latency below 1.
+	if _, err := NewNetwork("torus:k=8,n=2,latmap=" + filepath.Join(dir, "absent.csv")); err == nil {
+		t.Error("missing latmap file accepted")
+	}
+	bad := filepath.Join(dir, "bad.csv")
+	os.WriteFile(bad, []byte("1,2\n"), 0o644)
+	if _, err := NewNetwork("torus:k=8,n=2,latmap=" + bad); err == nil {
+		t.Error("malformed latmap line accepted")
+	}
+	edge := filepath.Join(dir, "edge.csv")
+	os.WriteFile(edge, []byte("0,1,2\n"), 0o644) // port d0- off node 0: mesh edge
+	if _, err := NewNetwork("mesh:k=8,n=2,latmap=" + edge); err == nil {
+		t.Error("latmap on a nonexistent mesh-edge channel accepted")
+	}
+	if _, err := NewNetwork("torus:k=8,n=2,latmap=" + edge); err != nil {
+		t.Errorf("the same channel exists on the torus: %v", err)
+	}
+	zero := filepath.Join(dir, "zero.csv")
+	os.WriteFile(zero, []byte("0,0,0\n"), 0o644)
+	if _, err := NewNetwork("torus:k=8,n=2,latmap=" + zero); err == nil {
+		t.Error("zero latency accepted")
+	}
+}
+
+// TestHypercubeIsBinaryTorus pins the alias semantics: a hypercube:n spec
+// is the 2-ary n-torus, with both directions along a dimension reaching
+// the same neighbour.
+func TestHypercubeIsBinaryTorus(t *testing.T) {
+	net, err := NewNetwork("hypercube:n=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Nodes() != 8 || net.Degree() != 6 {
+		t.Fatalf("hypercube: nodes %d, degree %d", net.Nodes(), net.Degree())
+	}
+	for id := 0; id < net.Nodes(); id++ {
+		for d := 0; d < net.N(); d++ {
+			plus := net.Neighbor(NodeID(id), d, Plus)
+			minus := net.Neighbor(NodeID(id), d, Minus)
+			if plus != minus {
+				t.Fatalf("node %d dim %d: +/- neighbours differ (%d vs %d)", id, d, plus, minus)
+			}
+			if net.Coords(plus)[d] == net.Coord(NodeID(id), d) {
+				t.Fatalf("node %d dim %d: neighbour does not flip the bit", id, d)
+			}
+		}
+	}
+}

@@ -56,39 +56,45 @@ func (t *Torus) RingPath(src NodeID, dim int, dir Dir, destCoord int) []NodeID {
 	return path
 }
 
-// Plane describes the 2-D sub-torus spanned by dimensions (DimA, DimB)
-// through a base node: all other coordinates are frozen to the base node's.
-// SW-Based-nD routes every message through a sequence of such planes.
+// Plane describes the 2-D sub-grid spanned by dimensions (DimA, DimB)
+// through a base node of any Network: all other coordinates are frozen to
+// the base node's. SW-Based-nD routes every message through a sequence of
+// such planes; fault shapes are stamped into them.
 type Plane struct {
-	t          *Torus
+	net        Network
 	DimA, DimB int
 	base       NodeID
 }
 
-// PlaneThrough returns the plane spanned by (dimA, dimB) through node base.
-func (t *Torus) PlaneThrough(base NodeID, dimA, dimB int) Plane {
+// PlaneOf returns the plane of net spanned by (dimA, dimB) through base.
+func PlaneOf(net Network, base NodeID, dimA, dimB int) Plane {
 	if dimA == dimB {
 		panic("topology: plane requires two distinct dimensions")
 	}
-	return Plane{t: t, DimA: dimA, DimB: dimB, base: base}
+	return Plane{net: net, DimA: dimA, DimB: dimB, base: base}
+}
+
+// PlaneThrough returns the plane spanned by (dimA, dimB) through node base.
+func (t *Torus) PlaneThrough(base NodeID, dimA, dimB int) Plane {
+	return PlaneOf(t, base, dimA, dimB)
 }
 
 // Node returns the plane member with coordinates (a, b) along (DimA, DimB).
 func (p Plane) Node(a, b int) NodeID {
-	c := p.t.Coords(p.base)
+	c := p.net.Coords(p.base)
 	c[p.DimA] = a
 	c[p.DimB] = b
-	return p.t.FromCoords(c)
+	return p.net.FromCoords(c)
 }
 
 // Contains reports whether id lies in the plane (all frozen coordinates
 // match the base node's).
 func (p Plane) Contains(id NodeID) bool {
-	for d := 0; d < p.t.n; d++ {
+	for d := 0; d < p.net.N(); d++ {
 		if d == p.DimA || d == p.DimB {
 			continue
 		}
-		if p.t.Coord(id, d) != p.t.Coord(p.base, d) {
+		if p.net.Coord(id, d) != p.net.Coord(p.base, d) {
 			return false
 		}
 	}
@@ -97,21 +103,23 @@ func (p Plane) Contains(id NodeID) bool {
 
 // Nodes enumerates all k*k members of the plane in (a-major, b-minor) order.
 func (p Plane) Nodes() []NodeID {
-	out := make([]NodeID, 0, p.t.k*p.t.k)
-	for a := 0; a < p.t.k; a++ {
-		for b := 0; b < p.t.k; b++ {
+	k := p.net.K()
+	out := make([]NodeID, 0, k*k)
+	for a := 0; a < k; a++ {
+		for b := 0; b < k; b++ {
 			out = append(out, p.Node(a, b))
 		}
 	}
 	return out
 }
 
-// Neighbors4 returns the four in-plane neighbours of id (±DimA, ±DimB).
+// Neighbors4 returns the four in-plane neighbours of id (±DimA, ±DimB);
+// entries are -1 where the underlying network has no link (mesh edges).
 func (p Plane) Neighbors4(id NodeID) [4]NodeID {
 	return [4]NodeID{
-		p.t.Neighbor(id, p.DimA, Plus),
-		p.t.Neighbor(id, p.DimA, Minus),
-		p.t.Neighbor(id, p.DimB, Plus),
-		p.t.Neighbor(id, p.DimB, Minus),
+		p.net.Neighbor(id, p.DimA, Plus),
+		p.net.Neighbor(id, p.DimA, Minus),
+		p.net.Neighbor(id, p.DimB, Plus),
+		p.net.Neighbor(id, p.DimB, Minus),
 	}
 }

@@ -52,9 +52,10 @@ type ChannelID struct {
 	Port Port
 }
 
-// Dst returns the node this channel delivers to.
-func (c ChannelID) Dst(t *Torus) NodeID {
-	return t.Neighbor(c.Src, c.Port.Dim(), c.Port.Dir())
+// Dst returns the node this channel delivers to, or -1 when the network
+// has no such link (mesh edges).
+func (c ChannelID) Dst(net Network) NodeID {
+	return net.Neighbor(c.Src, c.Port.Dim(), c.Port.Dir())
 }
 
 func (c ChannelID) String() string {
@@ -68,6 +69,23 @@ func (t *Torus) Channels() []ChannelID {
 	for id := 0; id < t.Nodes(); id++ {
 		for p := 0; p < t.Degree(); p++ {
 			out = append(out, ChannelID{Src: NodeID(id), Port: Port(p)})
+		}
+	}
+	return out
+}
+
+// ChannelsOf enumerates every unidirectional network channel of net in a
+// deterministic order (node-major, then port), skipping the unwired edge
+// ports of non-wrapping topologies.
+func ChannelsOf(net Network) []ChannelID {
+	out := make([]ChannelID, 0, net.Nodes()*net.Degree())
+	for id := 0; id < net.Nodes(); id++ {
+		for p := 0; p < net.Degree(); p++ {
+			port := Port(p)
+			if !net.HasLink(NodeID(id), port.Dim(), port.Dir()) {
+				continue
+			}
+			out = append(out, ChannelID{Src: NodeID(id), Port: port})
 		}
 	}
 	return out

@@ -1,0 +1,142 @@
+package topology
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Spec is a parsed topology specifier of the form
+//
+//	name
+//	name:key=value,key=value,...
+//
+// sharing the grammar of the routing and traffic registries, e.g.
+// "torus:k=8,n=2", "mesh:k=16,n=2" or "hypercube:n=10". The reserved
+// latmap=<file> parameter applies a per-link latency overlay to any
+// topology and is consumed by New before the factory sees the spec.
+type Spec struct {
+	Name   string
+	Params []Param
+}
+
+// Param is one key=value pair of a Spec, in written order.
+type Param struct {
+	Key, Value string
+}
+
+// Get returns the value of key and whether it was present.
+func (s Spec) Get(key string) (string, bool) {
+	for _, p := range s.Params {
+		if p.Key == key {
+			return p.Value, true
+		}
+	}
+	return "", false
+}
+
+// String renders the spec back into its parseable form.
+func (s Spec) String() string {
+	if len(s.Params) == 0 {
+		return s.Name
+	}
+	parts := make([]string, len(s.Params))
+	for i, p := range s.Params {
+		parts[i] = p.Key + "=" + p.Value
+	}
+	return s.Name + ":" + strings.Join(parts, ",")
+}
+
+// validSpecName reports whether s is a legal spec name or parameter key:
+// non-empty, lower-case letters, digits, '-' or '_'.
+func validSpecName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, c := range s {
+		if (c < 'a' || c > 'z') && (c < '0' || c > '9') && c != '-' && c != '_' {
+			return false
+		}
+	}
+	return true
+}
+
+// ParseSpec parses a "name[:key=val,...]" topology specifier.
+func ParseSpec(s string) (Spec, error) {
+	s = strings.TrimSpace(s)
+	name, rest, hasParams := strings.Cut(s, ":")
+	if !validSpecName(name) {
+		return Spec{}, fmt.Errorf("topology: bad spec name %q in %q", name, s)
+	}
+	spec := Spec{Name: name}
+	if !hasParams {
+		return spec, nil
+	}
+	if rest == "" {
+		return Spec{}, fmt.Errorf("topology: spec %q has an empty parameter list", s)
+	}
+	seen := map[string]bool{}
+	for _, kv := range strings.Split(rest, ",") {
+		key, val, ok := strings.Cut(kv, "=")
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		if !ok || !validSpecName(key) || val == "" {
+			return Spec{}, fmt.Errorf("topology: bad parameter %q in spec %q (want key=value)", kv, s)
+		}
+		if seen[key] {
+			return Spec{}, fmt.Errorf("topology: duplicate parameter %q in spec %q", key, s)
+		}
+		seen[key] = true
+		spec.Params = append(spec.Params, Param{Key: key, Value: val})
+	}
+	return spec, nil
+}
+
+// specArgs is the typed accessor over a Spec's parameters used by topology
+// factories: every accessor marks its key as consumed and records the first
+// conversion or range error; finish reports that error, or complains about
+// keys no accessor asked for. The same accessors back the static check
+// functions, so spec validation and construction cannot drift.
+type specArgs struct {
+	spec Spec
+	used map[string]bool
+	err  error
+}
+
+func newSpecArgs(spec Spec) *specArgs {
+	return &specArgs{spec: spec, used: make(map[string]bool, len(spec.Params))}
+}
+
+func (a *specArgs) fail(format string, v ...any) {
+	if a.err == nil {
+		a.err = fmt.Errorf("topology: spec %q: %s", a.spec.String(), fmt.Sprintf(format, v...))
+	}
+}
+
+// Int returns the value of key as an int, or def when absent.
+func (a *specArgs) Int(key string, def int) int {
+	a.used[key] = true
+	s, ok := a.spec.Get(key)
+	if !ok {
+		return def
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		a.fail("parameter %s=%q is not an integer", key, s)
+		return def
+	}
+	return v
+}
+
+// finish returns the first recorded error, or an unknown-parameter error
+// for any key no accessor consumed.
+func (a *specArgs) finish() error {
+	if a.err != nil {
+		return a.err
+	}
+	for _, p := range a.spec.Params {
+		if !a.used[p.Key] {
+			return fmt.Errorf("topology: spec %q: unknown parameter %q", a.spec.String(), p.Key)
+		}
+	}
+	return nil
+}

@@ -65,6 +65,23 @@ func New(k, n int) *Torus {
 	return &Torus{k: k, n: n, pow: pow}
 }
 
+// Kind implements Network.
+func (t *Torus) Kind() string { return "torus" }
+
+// Spec implements Network.
+func (t *Torus) Spec() string { return fmt.Sprintf("torus:k=%d,n=%d", t.k, t.n) }
+
+// Wraps implements Network: tori close every ring with wraparound links,
+// which is what makes the dateline virtual-channel classes necessary.
+func (t *Torus) Wraps() bool { return true }
+
+// HasLink implements Network: every ±1 move of a torus carries a channel.
+func (t *Torus) HasLink(id NodeID, dim int, dir Dir) bool { return dim < t.n }
+
+// LinkLatency implements Network: base tori defer every link to the
+// engine's configured default (overlay with a latmap for non-uniform wires).
+func (t *Torus) LinkLatency(src NodeID, port Port) int64 { return 0 }
+
 // K returns the radix (nodes per dimension).
 func (t *Torus) K() int { return t.k }
 

@@ -113,7 +113,7 @@ func (r *Recorder) All() []Event {
 func (r *Recorder) Count() int { return r.count }
 
 // Render formats one message's history for debugging.
-func (r *Recorder) Render(t *topology.Torus, msg uint64) string {
+func (r *Recorder) Render(t topology.Network, msg uint64) string {
 	evs := r.byMsg[msg]
 	if len(evs) == 0 {
 		return fmt.Sprintf("msg#%d: no events\n", msg)
@@ -134,7 +134,7 @@ func (r *Recorder) Render(t *topology.Torus, msg uint64) string {
 //   - cycles are non-decreasing.
 //
 // It returns the first violation found, or nil.
-func (r *Recorder) Verify(t *topology.Torus) error {
+func (r *Recorder) Verify(t topology.Network) error {
 	for id, evs := range r.byMsg {
 		if evs[0].Kind != Inject {
 			return fmt.Errorf("msg#%d: first event %v, want inject", id, evs[0].Kind)

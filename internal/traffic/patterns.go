@@ -21,7 +21,7 @@ type BitReversal struct {
 }
 
 // NewBitReversal builds the bit-reversal pattern.
-func NewBitReversal(t *topology.Torus, f *fault.Set) (*BitReversal, error) {
+func NewBitReversal(t topology.Network, f *fault.Set) (*BitReversal, error) {
 	n := t.Nodes()
 	if n&(n-1) != 0 {
 		return nil, fmt.Errorf("traffic: bitrev needs a power-of-two node count, got %d", n)
@@ -57,7 +57,7 @@ type Weighted struct {
 
 // NewWeighted builds the weighted pattern. weights maps node id -> weight
 // (>= 0); rest is the weight of unlisted healthy nodes.
-func NewWeighted(t *topology.Torus, f *fault.Set, weights map[int]float64, rest float64) (*Weighted, error) {
+func NewWeighted(t topology.Network, f *fault.Set, weights map[int]float64, rest float64) (*Weighted, error) {
 	if rest < 0 {
 		return nil, fmt.Errorf("traffic: weights rest must be >= 0, got %g", rest)
 	}
@@ -165,7 +165,7 @@ func init() {
 		Name:        "uniform",
 		Usage:       "uniform",
 		Description: "uniformly random healthy destination != source (the paper's workload)",
-	}, noParams, func(t *topology.Torus, f *fault.Set, spec Spec) (Pattern, error) {
+	}, noParams, func(t topology.Network, f *fault.Set, spec Spec) (Pattern, error) {
 		if err := noParams(spec); err != nil {
 			return nil, err
 		}
@@ -176,7 +176,7 @@ func init() {
 		Name:        "transpose",
 		Usage:       "transpose",
 		Description: "coordinate rotation (a0,...,an-1) -> (a1,...,a0); adversarial for e-cube",
-	}, noParams, func(t *topology.Torus, f *fault.Set, spec Spec) (Pattern, error) {
+	}, noParams, func(t topology.Network, f *fault.Set, spec Spec) (Pattern, error) {
 		if err := noParams(spec); err != nil {
 			return nil, err
 		}
@@ -191,7 +191,7 @@ func init() {
 	}, func(spec Spec) error {
 		_, err := parseHotspot(spec)
 		return err
-	}, func(t *topology.Torus, f *fault.Set, spec Spec) (Pattern, error) {
+	}, func(t topology.Network, f *fault.Set, spec Spec) (Pattern, error) {
 		p, err := parseHotspot(spec)
 		if err != nil {
 			return nil, err
@@ -218,7 +218,7 @@ func init() {
 		Usage:       "bitrev",
 		Description: "bit-reversal permutation (needs a power-of-two node count)",
 		Aliases:     []string{"bit-reversal"},
-	}, noParams, func(t *topology.Torus, f *fault.Set, spec Spec) (Pattern, error) {
+	}, noParams, func(t topology.Network, f *fault.Set, spec Spec) (Pattern, error) {
 		if err := noParams(spec); err != nil {
 			return nil, err
 		}
@@ -233,7 +233,7 @@ func init() {
 	}, func(spec Spec) error {
 		_, err := parseWeights(spec)
 		return err
-	}, func(t *topology.Torus, f *fault.Set, spec Spec) (Pattern, error) {
+	}, func(t topology.Network, f *fault.Set, spec Spec) (Pattern, error) {
 		p, err := parseWeights(spec)
 		if err != nil {
 			return nil, err

@@ -28,7 +28,7 @@ type Source interface {
 // generating nodes, the configured default rate and message shape, the
 // spatial destination pattern, and the rng stream the source owns.
 type Env struct {
-	T *topology.Torus
+	T topology.Network
 	F *fault.Set
 	// Sources are the traffic-generating nodes (normally the healthy set).
 	Sources []topology.NodeID
@@ -77,7 +77,7 @@ type MeanRater interface {
 type SourceFactory func(env Env, spec Spec) (Source, error)
 
 // PatternFactory builds a configured Pattern from its parsed spec.
-type PatternFactory func(t *topology.Torus, f *fault.Set, spec Spec) (Pattern, error)
+type PatternFactory func(t topology.Network, f *fault.Set, spec Spec) (Pattern, error)
 
 // Info describes a registered pattern or source for listings and
 // validation.
@@ -212,7 +212,7 @@ func RegisterSource(info Info, check func(Spec) error, factory SourceFactory) {
 
 // NewPattern builds the destination pattern described by a spec string
 // ("uniform", "hotspot:frac=0.1,node=12", ...) over the given network.
-func NewPattern(specStr string, t *topology.Torus, f *fault.Set) (Pattern, error) {
+func NewPattern(specStr string, t topology.Network, f *fault.Set) (Pattern, error) {
 	e, spec, err := patternReg.resolve(specStr)
 	if err != nil {
 		return nil, err

@@ -16,7 +16,7 @@ import (
 // repeatable across configurations — the workload analogue of replaying a
 // packet capture.
 type Replay struct {
-	t       *topology.Torus
+	t       topology.Network
 	mode    message.Mode
 	recs    []trace.WorkloadRecord
 	pos     int
@@ -28,7 +28,7 @@ type Replay struct {
 // validated against the network (endpoints in range, healthy, distinct;
 // positive length) and sorted by cycle, preserving the order of records
 // within a cycle.
-func NewReplay(t *topology.Torus, f *fault.Set, w *trace.Workload, mode message.Mode) (*Replay, error) {
+func NewReplay(t topology.Network, f *fault.Set, w *trace.Workload, mode message.Mode) (*Replay, error) {
 	if t == nil {
 		return nil, fmt.Errorf("traffic: replay needs a topology")
 	}

@@ -21,7 +21,7 @@ import (
 // the concrete source and is indexed by the node's position in sources.
 type schedSource struct {
 	name     string
-	t        *topology.Torus
+	t        topology.Network
 	sources  []topology.NodeID
 	msgLen   int
 	mode     message.Mode

@@ -77,13 +77,13 @@ func (u *Uniform) Pick(src topology.NodeID, r *rng.Stream) topology.NodeID {
 // classic adversarial permutation generalised to n dimensions. Faulty or
 // self destinations fall back to uniform.
 type Transpose struct {
-	t        *topology.Torus
+	t        topology.Network
 	f        *fault.Set
 	fallback *Uniform
 }
 
 // NewTranspose builds the transpose pattern.
-func NewTranspose(t *topology.Torus, f *fault.Set) *Transpose {
+func NewTranspose(t topology.Network, f *fault.Set) *Transpose {
 	return &Transpose{t: t, f: f, fallback: NewUniform(f)}
 }
 
@@ -174,7 +174,7 @@ func (h arrivalHeap) Peek() (arrival, bool) {
 // registry's "poisson" source (NewPoisson, on the schedSource chassis) is
 // proven bit-identical against by TestRegistrySourceMatchesLegacyGenerator.
 type Generator struct {
-	t       *topology.Torus
+	t       topology.Network
 	lambda  float64
 	msgLen  int
 	mode    message.Mode
@@ -188,7 +188,7 @@ type Generator struct {
 // NewGenerator builds a generator. lambda is the per-node rate in
 // messages/node/cycle; msgLen the fixed message length in flits; sources are
 // the healthy nodes that generate traffic.
-func NewGenerator(t *topology.Torus, sources []topology.NodeID, lambda float64, msgLen int, mode message.Mode, pattern Pattern, r *rng.Stream) *Generator {
+func NewGenerator(t topology.Network, sources []topology.NodeID, lambda float64, msgLen int, mode message.Mode, pattern Pattern, r *rng.Stream) *Generator {
 	if lambda <= 0 {
 		panic(fmt.Sprintf("traffic: lambda must be positive, got %g", lambda))
 	}

@@ -14,8 +14,8 @@ import (
 // RenderPlane draws the (dimA, dimB) plane through base. Faulty nodes print
 // as '#', healthy as '.', with dimA across and dimB down (origin top-left).
 func RenderPlane(fs *fault.Set, base topology.NodeID, dimA, dimB int) string {
-	t := fs.Torus()
-	pl := t.PlaneThrough(base, dimA, dimB)
+	t := fs.Net()
+	pl := topology.PlaneOf(t, base, dimA, dimB)
 	var b strings.Builder
 	fmt.Fprintf(&b, "    dim%d ->\n", dimA)
 	for y := 0; y < t.K(); y++ {
@@ -40,7 +40,7 @@ func RenderPlane(fs *fault.Set, base topology.NodeID, dimA, dimB int) string {
 // RenderRegions summarises every coalesced region: size, shape class, and
 // per-dimension extents.
 func RenderRegions(fs *fault.Set) string {
-	t := fs.Torus()
+	t := fs.Net()
 	regs := fs.Regions()
 	if len(regs) == 0 {
 		return "no fault regions\n"
