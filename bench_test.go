@@ -176,11 +176,12 @@ func BenchmarkFig7QueuedAdaptive(b *testing.B) { fig7Point(b, true) }
 
 // Engine-scheduler benchmarks: cost of one Step at a low offered load on a
 // 24-ary 2-cube (576 routers, nearly all idle in any given cycle). The
-// active-set scheduler touches only routers that can make progress; the
-// dense scan — the engine's original behaviour, kept behind the
-// Config.DenseScan knob — visits all 576 every cycle. Results are
-// bit-identical between the two (see TestActiveSetMatchesDenseScan); only
-// the wall-clock cost per simulated cycle differs.
+// active-set scheduler (now two-level: router worklist + per-router lane
+// worklists) touches only routers that can make progress; the dense scan
+// — the engine's original behaviour, kept behind the Config.DenseScan
+// knob — visits all 576 every cycle. Results are bit-identical between
+// the two (see TestActiveSetMatchesDenseScan); only the wall-clock cost
+// per simulated cycle differs.
 
 func stepBench(b *testing.B, dense bool) {
 	c := core.DefaultConfig(24, 2, 0.0002)
@@ -199,6 +200,56 @@ func stepBench(b *testing.B, dense bool) {
 
 func BenchmarkStepActiveSet(b *testing.B) { stepBench(b, false) }
 func BenchmarkStepDenseScan(b *testing.B) { stepBench(b, true) }
+
+// Per-VC scheduler benchmarks: cost of one Step with the second scheduler
+// level — per-(port, VC) lane worklists inside each busy router — against
+// the dense Ports()×V lane scan (Config.DenseVCScan, the engine's
+// behaviour between PR 1 and the per-VC scheduler). Two regimes:
+// "low" is a 24-ary 2-cube at λ=0.0002 (576 routers, nearly all idle;
+// the router-level set already skips most of them, so the lane level adds
+// little), "mod" is the paper's 8-ary 2-cube at λ=0.006 (busy routers
+// with most lanes still empty — the case the lane worklist targets; the
+// win grows with V because the dense scan pays (2n+1)·V per busy router
+// while the lane set pays only for occupied lanes). Results are
+// bit-identical (TestVCActiveSetMatchesDenseScan); only Step cost
+// differs.
+
+func stepBenchVC(b *testing.B, k int, lambda float64, v int, denseVC bool) {
+	b.Helper()
+	c := core.DefaultConfig(k, 2, lambda)
+	c.V = v
+	c.DenseVCScan = denseVC
+	c.MeasureMessages = 1 << 30 // never stop on quota; MaxCycles bounds the run
+	c.MaxCycles = int64(b.N)
+	if c.MaxCycles < 1000 {
+		c.MaxCycles = 1000
+	}
+	c.SaturationBacklog = 1 << 30
+	if _, err := core.Run(c); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func vcSchedulerGrid(b *testing.B, denseVC bool) {
+	for _, p := range []struct {
+		name   string
+		k      int
+		lambda float64
+		v      int
+	}{
+		{"low-k24-v4", 24, 0.0002, 4},
+		{"low-k24-v6", 24, 0.0002, 6},
+		{"low-k24-v10", 24, 0.0002, 10},
+		{"mod-k8-v4", 8, 0.006, 4},
+		{"mod-k8-v6", 8, 0.006, 6},
+		{"mod-k8-v10", 8, 0.006, 10},
+	} {
+		b.Run(p.name, func(b *testing.B) { stepBenchVC(b, p.k, p.lambda, p.v, denseVC) })
+	}
+}
+
+func BenchmarkStepVCActiveSet(b *testing.B) { vcSchedulerGrid(b, false) }
+func BenchmarkStepDenseVCScan(b *testing.B) { vcSchedulerGrid(b, true) }
 
 // Source-poll benchmarks: cost of the traffic layer alone — one Poll per
 // cycle on a 16-ary 2-cube (256 nodes) at λ = 0.01, no engine attached.

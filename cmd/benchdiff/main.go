@@ -1,0 +1,278 @@
+// Command benchdiff parses `go test -bench` text output into a JSON
+// snapshot and gates benchmark regressions against a committed baseline.
+// It is the local half of the bench-regression CI job — the same compare
+// runs on a laptop:
+//
+//	go test -run xxx -bench 'BenchmarkStep|BenchmarkSourcePoll' \
+//	    -benchtime 5000x -count 5 . > bench.txt
+//	benchdiff -in bench.txt -out BENCH_$(git rev-parse --short HEAD).json \
+//	    -baseline bench_baseline.json -gate BenchmarkStepTorusLinkCache \
+//	    -max-regress 15
+//
+// The snapshot keeps every raw benchmark line (feed `jq -r '.lines[]'`
+// into benchstat for the usual statistics) plus per-benchmark ns/op
+// samples and their median, which is what the compare uses so a single
+// noisy -count repeat cannot flip the gate. Only the benchmarks named in
+// -gate fail the run; everything else is reported informationally.
+//
+// Absolute ns/op medians only compare within one machine class, so a
+// baseline is only meaningful against runs from the same class: CI gates
+// against a baseline refreshed from a CI artifact, local runs against a
+// locally generated `-out bench_baseline.json`.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	var (
+		in         = flag.String("in", "", "benchmark text output to parse ('-' for stdin)")
+		out        = flag.String("out", "", "write the parsed snapshot JSON here")
+		baseline   = flag.String("baseline", "", "baseline snapshot JSON to compare against")
+		gate       = flag.String("gate", "", "comma-separated benchmark names whose regression fails the run (default: report only)")
+		maxRegress = flag.Float64("max-regress", 15, "maximum tolerated median ns/op regression, percent")
+	)
+	flag.Parse()
+	if err := run(*in, *out, *baseline, *gate, *maxRegress, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, out, baseline, gate string, maxRegress float64, w io.Writer) error {
+	if in == "" {
+		return fmt.Errorf("-in is required (benchmark text output, '-' for stdin)")
+	}
+	var src io.Reader = os.Stdin
+	if in != "-" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	cur, err := ParseBench(src)
+	if err != nil {
+		return err
+	}
+	if len(cur.Benchmarks) == 0 {
+		return fmt.Errorf("%s: no benchmark result lines found", in)
+	}
+	if out != "" {
+		blob, err := json.MarshalIndent(cur, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s (%d benchmarks)\n", out, len(cur.Benchmarks))
+	}
+	if baseline == "" {
+		return nil
+	}
+	base, err := ReadSnapshot(baseline)
+	if err != nil {
+		return err
+	}
+	var gates []string
+	for _, g := range strings.Split(gate, ",") {
+		if g = strings.TrimSpace(g); g != "" {
+			gates = append(gates, g)
+		}
+	}
+	report, failures := Compare(base, cur, gates, maxRegress)
+	fmt.Fprint(w, report)
+	if len(failures) > 0 {
+		return fmt.Errorf("benchmark regression gate failed: %s", strings.Join(failures, "; "))
+	}
+	return nil
+}
+
+// Bench is one benchmark's samples across -count repeats.
+type Bench struct {
+	// NsPerOp holds one ns/op sample per -count repeat.
+	NsPerOp []float64 `json:"ns_per_op"`
+	// MedianNsPerOp is the compare statistic: robust to one noisy repeat.
+	MedianNsPerOp float64 `json:"median_ns_per_op"`
+}
+
+// Snapshot is the parsed form of one `go test -bench` run.
+type Snapshot struct {
+	Goos   string `json:"goos,omitempty"`
+	Goarch string `json:"goarch,omitempty"`
+	Pkg    string `json:"pkg,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	// Lines preserves the raw benchmark result lines in Go's standard
+	// benchmark format, so the snapshot remains benchstat-consumable:
+	// jq -r '.lines[]' BENCH_x.json | benchstat /dev/stdin
+	Lines []string `json:"lines"`
+	// Benchmarks maps the name (GOMAXPROCS suffix stripped) to samples.
+	Benchmarks map[string]*Bench `json:"benchmarks"`
+}
+
+// ParseBench reads `go test -bench` text output: the goos/goarch/pkg/cpu
+// header and every "BenchmarkName-N  iters  value ns/op  ..." result
+// line. Repeats of one name (-count) accumulate as samples.
+func ParseBench(r io.Reader) (*Snapshot, error) {
+	s := &Snapshot{Benchmarks: map[string]*Bench{}}
+	buf, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	for lineNo, line := range strings.Split(string(buf), "\n") {
+		line = strings.TrimRight(line, "\r")
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			s.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			s.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			s.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			s.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			name, ns, ok, err := parseResultLine(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+			}
+			if !ok {
+				continue // a "BenchmarkFoo" announcement line without results (-v)
+			}
+			s.Lines = append(s.Lines, line)
+			b := s.Benchmarks[name]
+			if b == nil {
+				b = &Bench{}
+				s.Benchmarks[name] = b
+			}
+			b.NsPerOp = append(b.NsPerOp, ns)
+		}
+	}
+	for _, b := range s.Benchmarks {
+		b.MedianNsPerOp = median(b.NsPerOp)
+	}
+	return s, nil
+}
+
+// parseResultLine splits one benchmark result line into its normalized
+// name and ns/op value. ok is false for lines that carry no measurements
+// (verbose-mode RUN announcements).
+func parseResultLine(line string) (name string, nsPerOp float64, ok bool, err error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return "", 0, false, nil
+	}
+	name = normalizeName(fields[0])
+	// fields[1] is the iteration count; after it come value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		if fields[i+1] != "ns/op" {
+			continue
+		}
+		if _, err := fmt.Sscanf(fields[i], "%g", &nsPerOp); err != nil {
+			return "", 0, false, fmt.Errorf("bad ns/op value %q in %q", fields[i], line)
+		}
+		return name, nsPerOp, true, nil
+	}
+	return "", 0, false, nil
+}
+
+// normalizeName strips the trailing -N GOMAXPROCS suffix Go appends to
+// benchmark names, so snapshots from machines with different core counts
+// compare.
+func normalizeName(s string) string {
+	i := strings.LastIndexByte(s, '-')
+	if i < 0 {
+		return s
+	}
+	for _, c := range s[i+1:] {
+		if c < '0' || c > '9' {
+			return s
+		}
+	}
+	if i+1 == len(s) {
+		return s
+	}
+	return s[:i]
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// ReadSnapshot loads a snapshot JSON written by -out.
+func ReadSnapshot(path string) (*Snapshot, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(blob, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	for _, b := range s.Benchmarks {
+		if b.MedianNsPerOp == 0 {
+			b.MedianNsPerOp = median(b.NsPerOp)
+		}
+	}
+	return &s, nil
+}
+
+// Compare renders a delta table over the benchmarks the two snapshots
+// share and evaluates the gate: every gated benchmark must exist in both
+// snapshots and its median ns/op must not regress by more than
+// maxRegress percent. Returned failures are empty when the gate holds.
+func Compare(base, cur *Snapshot, gates []string, maxRegress float64) (report string, failures []string) {
+	var sb strings.Builder
+	names := make([]string, 0, len(cur.Benchmarks))
+	for name := range cur.Benchmarks {
+		if _, ok := base.Benchmarks[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	gated := map[string]bool{}
+	for _, g := range gates {
+		gated[g] = true
+	}
+	fmt.Fprintf(&sb, "%-55s %14s %14s %8s\n", "benchmark", "base ns/op", "cur ns/op", "delta")
+	for _, name := range names {
+		b, c := base.Benchmarks[name], cur.Benchmarks[name]
+		delta := 100 * (c.MedianNsPerOp - b.MedianNsPerOp) / b.MedianNsPerOp
+		mark := ""
+		if gated[name] {
+			mark = "  [gate]"
+			if delta > maxRegress {
+				mark = "  [FAIL]"
+				failures = append(failures,
+					fmt.Sprintf("%s regressed %.1f%% (limit %.0f%%)", name, delta, maxRegress))
+			}
+		}
+		fmt.Fprintf(&sb, "%-55s %14.1f %14.1f %+7.1f%%%s\n",
+			name, b.MedianNsPerOp, c.MedianNsPerOp, delta, mark)
+	}
+	for _, g := range gates {
+		if _, inCur := cur.Benchmarks[g]; !inCur {
+			failures = append(failures, fmt.Sprintf("gated benchmark %s missing from current run", g))
+		} else if _, inBase := base.Benchmarks[g]; !inBase {
+			failures = append(failures, fmt.Sprintf("gated benchmark %s missing from baseline", g))
+		}
+	}
+	return sb.String(), failures
+}

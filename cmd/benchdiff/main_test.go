@@ -1,0 +1,133 @@
+package main
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleRun = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkStepTorusLinkCache-8   	    5000	      9000 ns/op
+BenchmarkStepTorusLinkCache-8   	    5000	      9200 ns/op
+BenchmarkStepTorusLinkCache-8   	    5000	      8800 ns/op
+BenchmarkStepVCActiveSet/mod-k8-v6-8         	    5000	     14209 ns/op
+BenchmarkSourcePoll/poisson-8 	 1000000	       940.5 ns/op	        10.00 msgs/kcycle
+PASS
+ok  	repro	4.236s
+`
+
+func TestParseBench(t *testing.T) {
+	s, err := ParseBench(strings.NewReader(sampleRun))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Goos != "linux" || s.Pkg != "repro" || s.CPU == "" {
+		t.Fatalf("header not parsed: %+v", s)
+	}
+	if len(s.Lines) != 5 {
+		t.Fatalf("raw lines = %d, want 5", len(s.Lines))
+	}
+	b := s.Benchmarks["BenchmarkStepTorusLinkCache"]
+	if b == nil {
+		t.Fatal("GOMAXPROCS suffix not stripped")
+	}
+	if len(b.NsPerOp) != 3 || b.MedianNsPerOp != 9000 {
+		t.Fatalf("samples %v median %g, want 3 samples median 9000", b.NsPerOp, b.MedianNsPerOp)
+	}
+	sub := s.Benchmarks["BenchmarkStepVCActiveSet/mod-k8-v6"]
+	if sub == nil || sub.MedianNsPerOp != 14209 {
+		t.Fatalf("sub-benchmark not parsed: %+v", sub)
+	}
+	poll := s.Benchmarks["BenchmarkSourcePoll/poisson"]
+	if poll == nil || math.Abs(poll.MedianNsPerOp-940.5) > 1e-9 {
+		t.Fatalf("fractional ns/op not parsed: %+v", poll)
+	}
+}
+
+func TestParseBenchSkipsAnnouncements(t *testing.T) {
+	s, err := ParseBench(strings.NewReader("BenchmarkFoo\nBenchmarkFoo-4 100 5 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Benchmarks) != 1 || len(s.Benchmarks["BenchmarkFoo"].NsPerOp) != 1 {
+		t.Fatalf("verbose announcement line miscounted: %+v", s.Benchmarks)
+	}
+}
+
+func snap(t *testing.T, text string) *Snapshot {
+	t.Helper()
+	s, err := ParseBench(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCompareGate(t *testing.T) {
+	base := snap(t, "BenchmarkStepTorusLinkCache-8 5000 9000 ns/op\nBenchmarkOther-8 100 100 ns/op\n")
+	gates := []string{"BenchmarkStepTorusLinkCache"}
+
+	// Within tolerance: +10% on the gate, 3x on an ungated benchmark.
+	cur := snap(t, "BenchmarkStepTorusLinkCache-8 5000 9900 ns/op\nBenchmarkOther-8 100 300 ns/op\n")
+	report, failures := Compare(base, cur, gates, 15)
+	if len(failures) != 0 {
+		t.Fatalf("within-tolerance run failed the gate: %v\n%s", failures, report)
+	}
+	if !strings.Contains(report, "[gate]") || !strings.Contains(report, "BenchmarkOther") {
+		t.Fatalf("report missing expected rows:\n%s", report)
+	}
+
+	// Injected 2x slowdown on the gated benchmark must fail.
+	slow := snap(t, "BenchmarkStepTorusLinkCache-8 5000 18000 ns/op\n")
+	report, failures = Compare(base, slow, gates, 15)
+	if len(failures) != 1 || !strings.Contains(failures[0], "regressed 100.0%") {
+		t.Fatalf("2x slowdown not caught: %v\n%s", failures, report)
+	}
+	if !strings.Contains(report, "[FAIL]") {
+		t.Fatalf("report does not flag the failure:\n%s", report)
+	}
+
+	// A gated benchmark missing from the current run must fail too.
+	_, failures = Compare(base, snap(t, "BenchmarkOther-8 100 100 ns/op\n"), gates, 15)
+	if len(failures) != 1 || !strings.Contains(failures[0], "missing from current run") {
+		t.Fatalf("missing gated benchmark not caught: %v", failures)
+	}
+}
+
+func TestRunRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	txt := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(txt, []byte(sampleRun), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	baseJSON := filepath.Join(dir, "baseline.json")
+	if err := run(txt, baseJSON, "", "", 15, &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same run vs its own snapshot: 0% delta, gate holds.
+	var out strings.Builder
+	err := run(txt, filepath.Join(dir, "cur.json"), baseJSON,
+		"BenchmarkStepTorusLinkCache", 15, &out)
+	if err != nil {
+		t.Fatalf("self-compare failed: %v\n%s", err, out.String())
+	}
+
+	// Doctored 2x-slower text must fail the gate (the CI job's contract).
+	slowTxt := filepath.Join(dir, "slow.txt")
+	doctored := strings.ReplaceAll(sampleRun, "9000 ns/op", "18000 ns/op")
+	doctored = strings.ReplaceAll(doctored, "9200 ns/op", "18400 ns/op")
+	doctored = strings.ReplaceAll(doctored, "8800 ns/op", "17600 ns/op")
+	if err := os.WriteFile(slowTxt, []byte(doctored), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run(slowTxt, "", baseJSON, "BenchmarkStepTorusLinkCache", 15, &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "regression gate failed") {
+		t.Fatalf("injected 2x slowdown did not fail the gate: %v", err)
+	}
+}

@@ -128,8 +128,14 @@ type Config struct {
 	LinkLatency, CreditDelay int64
 	// DenseScan disables the engine's active-set scheduler and visits
 	// every router every cycle. Benchmark/ablation knob: results are
-	// bit-identical either way, only wall-clock cost differs.
+	// bit-identical either way, only wall-clock cost differs. Implies
+	// DenseVCScan.
 	DenseScan bool
+	// DenseVCScan disables the per-(port, VC) lane worklists inside each
+	// visited router and scans all Ports()×V input lanes per busy router.
+	// Benchmark/ablation knob mirroring DenseScan: results are
+	// bit-identical either way, only wall-clock cost differs.
+	DenseVCScan bool
 	// NoLinkCache disables the engine's precomputed per-link geometry
 	// table and dispatches through the topology interface per flit.
 	// Benchmark/ablation knob: results are bit-identical either way, only

@@ -118,6 +118,7 @@ func Run(c Config) (metrics.Results, error) {
 		LinkLatency:        c.LinkLatency,
 		CreditDelay:        c.CreditDelay,
 		DenseScan:          c.DenseScan,
+		DenseVCScan:        c.DenseVCScan,
 		NoLinkCache:        c.NoLinkCache,
 	}
 	nw := network.New(t, fs, alg, gen, col, params, r.Split(2))

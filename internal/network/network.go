@@ -65,7 +65,14 @@ type Params struct {
 	// DenseScan disables the active-set scheduler and visits every router
 	// every cycle, as the engine originally did. Ablation/benchmark knob:
 	// results are bit-identical either way, only Step cost differs.
+	// Implies DenseVCScan: a dense router scan always scans lanes densely.
 	DenseScan bool
+	// DenseVCScan disables the per-(port, VC) lane worklists and scans all
+	// Ports()×V input lanes of every visited router, as the engine did
+	// between the router-level active set (PR 1) and the per-VC scheduler.
+	// Ablation/benchmark knob mirroring DenseScan: results are
+	// bit-identical either way, only Step cost differs.
+	DenseVCScan bool
 	// NoLinkCache disables the engine's precomputed per-link geometry
 	// table and queries the topology interface on every flit transfer
 	// instead. Benchmark/ablation knob guarding the topology-seam
@@ -90,6 +97,10 @@ type arrivalEvent struct {
 	vc    int
 	flit  message.Flit
 }
+
+// xbarReq is a crossbar request: input lane (port, vc) asking for its
+// allocated output physical channel this cycle.
+type xbarReq struct{ port, vc int }
 
 // creditEvent is a staged credit return, applied when dueAt <= now.
 type creditEvent struct {
@@ -171,6 +182,16 @@ type Network struct {
 	pending []topology.NodeID
 	allIDs  []topology.NodeID
 
+	// vcTrack enables the scheduler's second level: per-(port, VC) lane
+	// worklists inside each router (see internal/router), so a busy
+	// router's phases visit only lanes holding flits instead of scanning
+	// all Ports()×V. Off under either dense knob.
+	vcTrack bool
+
+	// buckets is switchTraversal's per-output-port request scratch,
+	// allocated once.
+	buckets [][]xbarReq
+
 	now       int64
 	inFlight  int // worms injected (streaming or in-network) not yet completed
 	generated uint64
@@ -206,9 +227,14 @@ func New(t topology.Network, f *fault.Set, alg routing.Router, gen traffic.Sourc
 		rrInj:   make([]int, t.Nodes()),
 		active:  make([]bool, t.Nodes()),
 	}
+	n.vcTrack = !p.DenseScan && !p.DenseVCScan
 	for id := 0; id < t.Nodes(); id++ {
 		n.routers[id] = router.New(topology.NodeID(id), t.N(), p.V, p.BufDepth)
+		if n.vcTrack {
+			n.routers[id].EnableLaneTracking()
+		}
 	}
+	n.buckets = make([][]xbarReq, t.Degree())
 	n.buildLinkTable()
 	if p.DenseScan {
 		n.allIDs = make([]topology.NodeID, t.Nodes())
@@ -284,14 +310,23 @@ func (nw *Network) markActive(id topology.NodeID) {
 // beginCycle merges newly activated routers into the worklist, keeping it
 // sorted by node id so the phases visit routers in the same ascending
 // order as a dense scan — that ordering is what makes the scheduler
-// rng-transparent (bit-exact traces for a fixed seed).
+// rng-transparent (bit-exact traces for a fixed seed). With the per-VC
+// scheduler it then merges each working router's newly marked lanes the
+// same way (sorted (port, VC) order = the dense nested-scan order).
 func (nw *Network) beginCycle() {
-	if nw.p.DenseScan || len(nw.pending) == 0 {
+	if nw.p.DenseScan {
 		return
 	}
-	nw.work = append(nw.work, nw.pending...)
-	nw.pending = nw.pending[:0]
-	slices.Sort(nw.work)
+	if len(nw.pending) > 0 {
+		nw.work = append(nw.work, nw.pending...)
+		nw.pending = nw.pending[:0]
+		slices.Sort(nw.work)
+	}
+	if nw.vcTrack {
+		for _, id := range nw.work {
+			nw.routers[id].MergeLanes()
+		}
+	}
 }
 
 // endCycle retires drained routers from the worklist. A router stays
@@ -314,9 +349,19 @@ func (nw *Network) endCycle() {
 }
 
 // routerBusy reports whether the router still has locally visible work.
+// With the per-VC scheduler the flit check rides on the lane worklist:
+// RetireLanes prunes drained lanes and reports how many remain (merged +
+// freshly marked), so the retire path touches only active-lane counters,
+// never all Ports()×V buffers.
 func (nw *Network) routerBusy(id topology.NodeID) bool {
-	return nw.routers[id].Flits > 0 ||
-		len(nw.newQ[id]) > 0 || len(nw.reQ[id]) > 0 || len(nw.streams[id]) > 0
+	if nw.vcTrack {
+		if nw.routers[id].RetireLanes() > 0 {
+			return true
+		}
+	} else if nw.routers[id].Flits > 0 {
+		return true
+	}
+	return len(nw.newQ[id]) > 0 || len(nw.reQ[id]) > 0 || len(nw.streams[id]) > 0
 }
 
 // Now returns the current cycle.
@@ -394,69 +439,87 @@ func (nw *Network) pollTraffic() {
 }
 
 // routeAndAllocate runs routing decisions and output-VC allocation for
-// every head flit parked at the front of an input VC.
+// every head flit parked at the front of an input VC. With the per-VC
+// scheduler it visits only each router's active lanes; the dense-VC
+// ablation nests over all Ports()×V. Both orders are port-major/VC-minor,
+// so rng draws are identical.
 func (nw *Network) routeAndAllocate() {
 	var free []routing.CandidateVC // scratch, reused across VCs
 	for _, node := range nw.work {
 		rt := nw.routers[node]
+		if nw.vcTrack {
+			for _, lane := range rt.Lanes() {
+				port, vc := rt.LanePortVC(lane)
+				free = nw.allocateLane(node, rt, port, vc, free)
+			}
+			continue
+		}
 		if rt.Flits == 0 {
 			continue
 		}
 		for port := range rt.In {
 			for vc := range rt.In[port] {
-				ivc := &rt.In[port][vc]
-				if ivc.HasRoute {
-					continue
-				}
-				front, ok := ivc.Buf.Front()
-				if !ok || !front.IsHead() {
-					continue
-				}
-				if nw.now < ivc.ReadyAt {
-					continue
-				}
-				m := front.Msg
-				dec := nw.alg.Route(node, m)
-				switch dec.Outcome {
-				case routing.Deliver:
-					m.Pending = message.StopDeliver
-					ivc.HasRoute, ivc.ToEject = true, true
-				case routing.ViaArrived:
-					m.Pending = message.StopVia
-					ivc.HasRoute, ivc.ToEject = true, true
-				case routing.AbsorbFault:
-					nw.trace(trace.AbsorbStart, m.ID, node)
-					if nw.alg.Plan(node, m, dec.BlockedDim, dec.BlockedDir) {
-						m.Pending = message.StopFault
-					} else {
-						m.Pending = message.StopDrop
-					}
-					ivc.HasRoute, ivc.ToEject = true, true
-				case routing.Progress:
-					free = free[:0]
-					for _, c := range dec.Preferred {
-						if !rt.Out[c.Port][c.VC].Busy {
-							free = append(free, c)
-						}
-					}
-					if len(free) == 0 {
-						for _, c := range dec.Fallback {
-							if !rt.Out[c.Port][c.VC].Busy {
-								free = append(free, c)
-							}
-						}
-					}
-					if len(free) == 0 {
-						continue // all candidate VCs owned; retry next cycle
-					}
-					pick := free[nw.r.Intn(len(free))]
-					rt.Out[pick.Port][pick.VC].Busy = true
-					ivc.HasRoute, ivc.ToEject = true, false
-					ivc.OutPort, ivc.OutVC = pick.Port, pick.VC
-				}
+				free = nw.allocateLane(node, rt, port, vc, free)
 			}
 		}
 	}
+}
+
+// allocateLane takes the routing decision for input lane (port, vc) of
+// node, if its front flit is a head that is ready and unrouted. free is
+// the caller's candidate scratch, returned for reuse.
+func (nw *Network) allocateLane(node topology.NodeID, rt *router.Router, port, vc int, free []routing.CandidateVC) []routing.CandidateVC {
+	ivc := &rt.In[port][vc]
+	if ivc.HasRoute {
+		return free
+	}
+	front, ok := ivc.Buf.Front()
+	if !ok || !front.IsHead() {
+		return free
+	}
+	if nw.now < ivc.ReadyAt {
+		return free
+	}
+	m := front.Msg
+	dec := nw.alg.Route(node, m)
+	switch dec.Outcome {
+	case routing.Deliver:
+		m.Pending = message.StopDeliver
+		ivc.HasRoute, ivc.ToEject = true, true
+	case routing.ViaArrived:
+		m.Pending = message.StopVia
+		ivc.HasRoute, ivc.ToEject = true, true
+	case routing.AbsorbFault:
+		nw.trace(trace.AbsorbStart, m.ID, node)
+		if nw.alg.Plan(node, m, dec.BlockedDim, dec.BlockedDir) {
+			m.Pending = message.StopFault
+		} else {
+			m.Pending = message.StopDrop
+		}
+		ivc.HasRoute, ivc.ToEject = true, true
+	case routing.Progress:
+		free = free[:0]
+		for _, c := range dec.Preferred {
+			if !rt.Out[c.Port][c.VC].Busy {
+				free = append(free, c)
+			}
+		}
+		if len(free) == 0 {
+			for _, c := range dec.Fallback {
+				if !rt.Out[c.Port][c.VC].Busy {
+					free = append(free, c)
+				}
+			}
+		}
+		if len(free) == 0 {
+			return free // all candidate VCs owned; retry next cycle
+		}
+		pick := free[nw.r.Intn(len(free))]
+		rt.Out[pick.Port][pick.VC].Busy = true
+		ivc.HasRoute, ivc.ToEject = true, false
+		ivc.OutPort, ivc.OutVC = pick.Port, pick.VC
+	}
+	return free
 }
 
 // switchTraversal performs switch allocation and link/ejection traversal.
@@ -469,35 +532,36 @@ func (nw *Network) routeAndAllocate() {
 // as they arrive).
 func (nw *Network) switchTraversal() {
 	degree := nw.t.Degree()
-	type req struct{ port, vc int }
-	// Scratch buckets per output port, reused across routers.
-	buckets := make([][]req, degree)
 	for _, node := range nw.work {
 		rt := nw.routers[node]
-		if rt.Flits == 0 {
-			continue
-		}
-		for i := range buckets {
-			buckets[i] = buckets[i][:0]
-		}
-		for port := range rt.In {
-			for vc := range rt.In[port] {
-				ivc := &rt.In[port][vc]
-				if !ivc.HasRoute || ivc.Buf.Len() == 0 {
-					continue
-				}
-				if ivc.ToEject {
-					// Per-VC ejection: drain immediately, no arbitration.
-					nw.moveEject(node, rt, port, vc)
-				} else {
-					buckets[ivc.OutPort] = append(buckets[ivc.OutPort], req{port, vc})
+		if nw.vcTrack {
+			if len(rt.Lanes()) == 0 {
+				continue
+			}
+			for i := range nw.buckets {
+				nw.buckets[i] = nw.buckets[i][:0]
+			}
+			for _, lane := range rt.Lanes() {
+				port, vc := rt.LanePortVC(lane)
+				nw.gatherLane(node, rt, port, vc)
+			}
+		} else {
+			if rt.Flits == 0 {
+				continue
+			}
+			for i := range nw.buckets {
+				nw.buckets[i] = nw.buckets[i][:0]
+			}
+			for port := range rt.In {
+				for vc := range rt.In[port] {
+					nw.gatherLane(node, rt, port, vc)
 				}
 			}
 		}
 		// Network output channels: one flit per physical channel per cycle,
 		// round-robin over the competing input VCs.
 		for out := 0; out < degree; out++ {
-			cands := buckets[out]
+			cands := nw.buckets[out]
 			if len(cands) == 0 {
 				continue
 			}
@@ -515,6 +579,21 @@ func (nw *Network) switchTraversal() {
 				break
 			}
 		}
+	}
+}
+
+// gatherLane inspects input lane (port, vc): routed eject lanes drain
+// immediately (per-VC ejection, no arbitration), routed network lanes file
+// a crossbar request into their output port's bucket.
+func (nw *Network) gatherLane(node topology.NodeID, rt *router.Router, port, vc int) {
+	ivc := &rt.In[port][vc]
+	if !ivc.HasRoute || ivc.Buf.Len() == 0 {
+		return
+	}
+	if ivc.ToEject {
+		nw.moveEject(node, rt, port, vc)
+	} else {
+		nw.buckets[ivc.OutPort] = append(nw.buckets[ivc.OutPort], xbarReq{port, vc})
 	}
 }
 

@@ -10,6 +10,7 @@ package router
 
 import (
 	"fmt"
+	"slices"
 
 	"repro/internal/message"
 	"repro/internal/topology"
@@ -95,6 +96,12 @@ type OutVC struct {
 	Credits int
 }
 
+// Lane identifies one input virtual channel of a router as port*V + vc.
+// The encoding makes ascending lane order identical to the
+// port-major/VC-minor order of a dense nested scan over In, which is what
+// keeps the engine's lane worklist rng-transparent.
+type Lane int32
+
 // Router is the per-node switching element. Ports are indexed as in
 // internal/topology: network ports 0..2n-1, then the injection input port
 // (index 2n). The ejection output port needs no per-VC state (it drains to
@@ -111,6 +118,17 @@ type Router struct {
 	// RROut holds the round-robin arbitration pointer per output port; the
 	// extra last slot is the ejection port's.
 	RROut []int
+
+	// Per-lane activity worklist (the engine's second scheduler level; the
+	// first is the router-level active set in internal/network). Enabled
+	// by EnableLaneTracking; Push marks the receiving lane, MergeLanes
+	// folds marks into the sorted worklist at cycle start, RetireLanes
+	// drops drained lanes at cycle end. laneActive deduplicates marks.
+	v           int
+	laneTrack   bool
+	laneActive  []bool
+	lanes       []Lane
+	lanePending []Lane
 }
 
 // New builds a router for a node of an n-dimensional torus with v virtual
@@ -122,6 +140,7 @@ func New(id topology.NodeID, n, v, bufDepth int) *Router {
 		In:    make([][]InVC, degree+1),
 		Out:   make([][]OutVC, degree),
 		RROut: make([]int, degree+1),
+		v:     v,
 	}
 	for p := range r.In {
 		r.In[p] = make([]InVC, v)
@@ -143,10 +162,71 @@ func New(id topology.NodeID, n, v, bufDepth int) *Router {
 // InjectionPort returns the index of this router's injection input port.
 func (r *Router) InjectionPort() int { return len(r.In) - 1 }
 
-// Push places a flit into input (port, vc), updating the activity counter.
+// EnableLaneTracking arms the per-lane worklist: from now on Push marks
+// the receiving lane active. The engine enables it when running the
+// per-VC scheduler; the dense-VC ablation leaves it off so the old scan
+// pays none of the bookkeeping and the A/B benchmark stays honest.
+func (r *Router) EnableLaneTracking() {
+	r.laneTrack = true
+	r.laneActive = make([]bool, len(r.In)*r.v)
+}
+
+// LanePortVC decodes a lane id into its (port, vc) pair.
+func (r *Router) LanePortVC(l Lane) (port, vc int) {
+	return int(l) / r.v, int(l) % r.v
+}
+
+// Lanes returns the merged worklist of active lanes in ascending
+// (port, vc) order. Valid between MergeLanes and the next Push.
+func (r *Router) Lanes() []Lane { return r.lanes }
+
+// LaneCount returns the number of active lanes, merged and pending.
+func (r *Router) LaneCount() int { return len(r.lanes) + len(r.lanePending) }
+
+// MergeLanes folds lanes marked since the last cycle into the sorted
+// worklist. Ascending lane order is the determinism contract: the engine
+// visits lanes exactly as a dense port-major scan would, so rng draws
+// happen in the same sequence.
+func (r *Router) MergeLanes() {
+	if len(r.lanePending) == 0 {
+		return
+	}
+	r.lanes = append(r.lanes, r.lanePending...)
+	r.lanePending = r.lanePending[:0]
+	slices.Sort(r.lanes)
+}
+
+// RetireLanes drops drained lanes (empty buffer) from the worklist and
+// reports how many lanes remain active, counting unmerged marks — the
+// per-lane counter the engine's retire path consults instead of
+// re-scanning all ports×V buffers. A lane holding only a worm's route
+// (HasRoute, buffer drained mid-worm) retires too: every lane action
+// needs a buffered flit, and the next arrival re-marks it.
+func (r *Router) RetireLanes() int {
+	keep := r.lanes[:0]
+	for _, lane := range r.lanes {
+		if r.In[int(lane)/r.v][int(lane)%r.v].Buf.Len() > 0 {
+			keep = append(keep, lane)
+		} else {
+			r.laneActive[lane] = false
+		}
+	}
+	r.lanes = keep
+	return len(keep) + len(r.lanePending)
+}
+
+// Push places a flit into input (port, vc), updating the activity counter
+// and, when lane tracking is on, marking the lane for the next merge.
 func (r *Router) Push(port, vc int, f message.Flit) {
 	r.In[port][vc].Buf.Push(f)
 	r.Flits++
+	if r.laneTrack {
+		lane := Lane(port*r.v + vc)
+		if !r.laneActive[lane] {
+			r.laneActive[lane] = true
+			r.lanePending = append(r.lanePending, lane)
+		}
+	}
 }
 
 // Pop removes the front flit from input (port, vc), updating the activity

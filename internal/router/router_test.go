@@ -126,6 +126,81 @@ func TestActivityCounter(t *testing.T) {
 	}
 }
 
+func TestLaneWorklistOrderAndRetire(t *testing.T) {
+	r := New(0, 2, 4, 2) // degree 4 + injection port, V=4
+	r.EnableLaneTracking()
+	m := message.New(1, 0, 1, 8, 2, message.Deterministic, 0)
+
+	// Mark lanes out of order, with a duplicate push into one of them.
+	r.Push(2, 3, m.Flit(0))
+	r.Push(0, 1, m.Flit(1))
+	r.Push(r.InjectionPort(), 0, m.Flit(2))
+	r.Push(2, 3, m.Flit(3)) // same lane again: must not double-mark
+	if got := r.LaneCount(); got != 3 {
+		t.Fatalf("lane count before merge = %d, want 3", got)
+	}
+	if got := len(r.Lanes()); got != 0 {
+		t.Fatalf("lanes visible before merge: %d", got)
+	}
+
+	r.MergeLanes()
+	want := []Lane{Lane(0*4 + 1), Lane(2*4 + 3), Lane(r.InjectionPort() * 4)}
+	got := r.Lanes()
+	if len(got) != len(want) {
+		t.Fatalf("merged lanes = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merged lanes = %v, want %v (port-major ascending)", got, want)
+		}
+		port, vc := r.LanePortVC(got[i])
+		if Lane(port*4+vc) != got[i] {
+			t.Fatalf("LanePortVC(%d) = (%d,%d): does not round-trip", got[i], port, vc)
+		}
+	}
+
+	// Drain lane (0,1); retire must drop exactly it and report the rest.
+	r.Pop(0, 1)
+	if n := r.RetireLanes(); n != 2 {
+		t.Fatalf("retire count = %d, want 2", n)
+	}
+	if lanes := r.Lanes(); len(lanes) != 2 || lanes[0] != Lane(2*4+3) {
+		t.Fatalf("lanes after retire = %v", lanes)
+	}
+
+	// A retired lane re-arms on the next push.
+	r.Push(0, 1, m.Flit(4))
+	if got := r.LaneCount(); got != 3 {
+		t.Fatalf("lane count after re-push = %d, want 3", got)
+	}
+	r.MergeLanes()
+	if lanes := r.Lanes(); len(lanes) != 3 || lanes[0] != Lane(0*4+1) {
+		t.Fatalf("lanes after re-merge = %v", lanes)
+	}
+}
+
+func TestLaneRetireCountsPendingMarks(t *testing.T) {
+	// Lanes marked after the last merge (as applyStaged does late in a
+	// cycle) must still count as activity in the retire path, or the
+	// engine would retire a router holding fresh flits.
+	r := New(0, 2, 4, 2)
+	r.EnableLaneTracking()
+	m := message.New(1, 0, 1, 8, 2, message.Deterministic, 0)
+	r.Push(1, 2, m.Flit(0))
+	if n := r.RetireLanes(); n != 1 {
+		t.Fatalf("retire count with only a pending mark = %d, want 1", n)
+	}
+}
+
+func TestLaneTrackingOffByDefault(t *testing.T) {
+	r := New(0, 2, 4, 2)
+	m := message.New(1, 0, 1, 8, 2, message.Deterministic, 0)
+	r.Push(0, 0, m.Flit(0))
+	if got := r.LaneCount(); got != 0 {
+		t.Fatalf("untracked router recorded %d lanes", got)
+	}
+}
+
 func TestFlitQueuePropertyConservation(t *testing.T) {
 	// Random interleavings of pushes and pops preserve FIFO order and
 	// counts.

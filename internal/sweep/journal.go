@@ -55,13 +55,13 @@ func OpenJournal(path string) (*Journal, error) {
 	}
 	records, valid, err := scanRecords(f)
 	if err != nil {
-		f.Close()
+		_ = f.Close() // best-effort: the scan/truncate error is the one to report
 		return nil, fmt.Errorf("sweep: read journal %s: %w", path, err)
 	}
 	// Drop any torn tail; O_APPEND then directs every write to the new
 	// end-of-file, so no seek is needed.
 	if err := f.Truncate(valid); err != nil {
-		f.Close()
+		_ = f.Close() // best-effort: the scan/truncate error is the one to report
 		return nil, fmt.Errorf("sweep: recover journal %s: %w", path, err)
 	}
 	return &Journal{f: f, records: records}, nil
