@@ -183,19 +183,37 @@ func BenchmarkFig7QueuedAdaptive(b *testing.B) { fig7Point(b, true) }
 // the two (see TestActiveSetMatchesDenseScan); only the wall-clock cost
 // per simulated cycle differs.
 
+// stepEngine is the shared chassis of the Step benchmarks: it builds the
+// configured point once, advances warm unmeasured cycles so the network
+// carries steady-state traffic and every scratch buffer has reached its
+// high-water mark, then times b.N Steps with allocation reporting.
+// Construction stays outside the measured region — the benchmarks gate the
+// per-cycle cost (and, with the arena, its zero-allocation contract), not
+// setup.
+func stepEngine(b *testing.B, c core.Config, warm int) {
+	b.Helper()
+	c.MeasureMessages = 1 << 30 // never stop on quota; b.N bounds the run
+	c.MaxCycles = 1 << 62
+	c.SaturationBacklog = 1 << 30
+	e, err := core.NewEngine(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < warm; i++ {
+		e.Step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
 func stepBench(b *testing.B, dense bool) {
 	c := core.DefaultConfig(24, 2, 0.0002)
 	c.V = 4
 	c.DenseScan = dense
-	c.MeasureMessages = 1 << 30 // never stop on quota; MaxCycles bounds the run
-	c.MaxCycles = int64(b.N)
-	if c.MaxCycles < 1000 {
-		c.MaxCycles = 1000
-	}
-	c.SaturationBacklog = 1 << 30
-	if _, err := core.Run(c); err != nil {
-		b.Fatal(err)
-	}
+	stepEngine(b, c, 2000)
 }
 
 func BenchmarkStepActiveSet(b *testing.B) { stepBench(b, false) }
@@ -219,15 +237,7 @@ func stepBenchVC(b *testing.B, k int, lambda float64, v int, denseVC bool) {
 	c := core.DefaultConfig(k, 2, lambda)
 	c.V = v
 	c.DenseVCScan = denseVC
-	c.MeasureMessages = 1 << 30 // never stop on quota; MaxCycles bounds the run
-	c.MaxCycles = int64(b.N)
-	if c.MaxCycles < 1000 {
-		c.MaxCycles = 1000
-	}
-	c.SaturationBacklog = 1 << 30
-	if _, err := core.Run(c); err != nil {
-		b.Fatal(err)
-	}
+	stepEngine(b, c, 2000)
 }
 
 func vcSchedulerGrid(b *testing.B, denseVC bool) {
@@ -267,6 +277,7 @@ func sourceBench(b *testing.B, spec string) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	var total int
 	for now := int64(1); now <= int64(b.N); now++ {

@@ -17,26 +17,37 @@ import (
 // *Torus calls sit between the two). Results are bit-identical across all
 // of these knobs (TestLinkCacheMatchesDispatch); only Step cost differs.
 
-func stepBenchTopo(b *testing.B, topo string, noCache bool) {
+func stepBenchTopo(b *testing.B, topo string, noCache, noArena bool) {
 	b.Helper()
 	c := core.DefaultConfig(24, 2, 0.0002)
 	c.Topology = topo
 	c.V = 4
 	c.NoLinkCache = noCache
-	c.MeasureMessages = 1 << 30 // never stop on quota; MaxCycles bounds the run
-	c.MaxCycles = int64(b.N)
-	if c.MaxCycles < 1000 {
-		c.MaxCycles = 1000
-	}
-	c.SaturationBacklog = 1 << 30
-	if _, err := core.Run(c); err != nil {
-		b.Fatal(err)
-	}
+	c.NoArena = noArena
+	stepEngine(b, c, 2000)
 }
 
-func BenchmarkStepTorusLinkCache(b *testing.B)   { stepBenchTopo(b, "torus:k=24,n=2", false) }
-func BenchmarkStepTorusNoLinkCache(b *testing.B) { stepBenchTopo(b, "torus:k=24,n=2", true) }
-func BenchmarkStepMesh(b *testing.B)             { stepBenchTopo(b, "mesh:k=24,n=2", false) }
+func BenchmarkStepTorusLinkCache(b *testing.B)   { stepBenchTopo(b, "torus:k=24,n=2", false, false) }
+func BenchmarkStepTorusNoLinkCache(b *testing.B) { stepBenchTopo(b, "torus:k=24,n=2", true, false) }
+func BenchmarkStepMesh(b *testing.B)             { stepBenchTopo(b, "mesh:k=24,n=2", false, false) }
+
+// BenchmarkStepTorusNoArena is the allocation ablation's A side: the same
+// 24-ary 2-cube point with every message on the garbage-collected heap, as
+// the engine originally ran. Compare its B/op and allocs/op columns against
+// BenchmarkStepTorusLinkCache (arena on) for the win the arena buys.
+func BenchmarkStepTorusNoArena(b *testing.B) { stepBenchTopo(b, "torus:k=24,n=2", false, true) }
+
+// BenchmarkStepLargeTorus is the scale point: a 32-ary 3-cube (32,768
+// routers) under moderate load — the paper's topology family pushed to a
+// size where per-cycle engine overheads and allocation pressure would
+// dominate without the active-set scheduler and the arena. FIGURES.md
+// records the measured wall-clock recipe.
+func BenchmarkStepLargeTorus(b *testing.B) {
+	c := core.DefaultConfig(32, 3, 0.0005)
+	c.Topology = "torus:k=32,n=3"
+	c.V = 4
+	stepEngine(b, c, 2000)
+}
 
 // TestLinkCacheOverheadGuard is the A/B regression gate on the torus hot
 // path: a loaded run with the link table must not cost materially more

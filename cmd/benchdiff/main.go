@@ -4,16 +4,21 @@
 // runs on a laptop:
 //
 //	go test -run xxx -bench 'BenchmarkStep|BenchmarkSourcePoll' \
-//	    -benchtime 5000x -count 5 . > bench.txt
+//	    -benchtime 5000x -benchmem -count 5 . > bench.txt
 //	benchdiff -in bench.txt -out BENCH_$(git rev-parse --short HEAD).json \
 //	    -baseline bench_baseline.json -gate BenchmarkStepTorusLinkCache \
-//	    -max-regress 15
+//	    -max-regress 15 -require-mem
 //
 // The snapshot keeps every raw benchmark line (feed `jq -r '.lines[]'`
 // into benchstat for the usual statistics) plus per-benchmark ns/op
 // samples and their median, which is what the compare uses so a single
-// noisy -count repeat cannot flip the gate. Only the benchmarks named in
-// -gate fail the run; everything else is reported informationally.
+// noisy -count repeat cannot flip the gate. Runs produced with -benchmem
+// additionally carry B/op and allocs/op samples; for gated benchmarks the
+// median allocs/op must not exceed the baseline's at all — time gets a
+// noise tolerance, allocations do not, because the hot path's allocs/op
+// is exactly 0 and any nonzero count is a real leak into the steady
+// state, not jitter. Only the benchmarks named in -gate fail the run;
+// everything else is reported informationally.
 //
 // Absolute ns/op medians only compare within one machine class, so a
 // baseline is only meaningful against runs from the same class: CI gates
@@ -38,15 +43,16 @@ func main() {
 		baseline   = flag.String("baseline", "", "baseline snapshot JSON to compare against")
 		gate       = flag.String("gate", "", "comma-separated benchmark names whose regression fails the run (default: report only)")
 		maxRegress = flag.Float64("max-regress", 15, "maximum tolerated median ns/op regression, percent")
+		requireMem = flag.Bool("require-mem", false, "fail when a gated benchmark lacks allocs/op samples in either snapshot (instead of skipping the alloc gate)")
 	)
 	flag.Parse()
-	if err := run(*in, *out, *baseline, *gate, *maxRegress, os.Stdout); err != nil {
+	if err := run(*in, *out, *baseline, *gate, *maxRegress, *requireMem, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, out, baseline, gate string, maxRegress float64, w io.Writer) error {
+func run(in, out, baseline, gate string, maxRegress float64, requireMem bool, w io.Writer) error {
 	if in == "" {
 		return fmt.Errorf("-in is required (benchmark text output, '-' for stdin)")
 	}
@@ -89,7 +95,7 @@ func run(in, out, baseline, gate string, maxRegress float64, w io.Writer) error 
 			gates = append(gates, g)
 		}
 	}
-	report, failures := Compare(base, cur, gates, maxRegress)
+	report, failures := Compare(base, cur, gates, maxRegress, requireMem)
 	fmt.Fprint(w, report)
 	if len(failures) > 0 {
 		return fmt.Errorf("benchmark regression gate failed: %s", strings.Join(failures, "; "))
@@ -103,6 +109,12 @@ type Bench struct {
 	NsPerOp []float64 `json:"ns_per_op"`
 	// MedianNsPerOp is the compare statistic: robust to one noisy repeat.
 	MedianNsPerOp float64 `json:"median_ns_per_op"`
+	// BytesPerOp and AllocsPerOp hold the -benchmem samples, one per
+	// repeat; empty for runs (or old baselines) taken without -benchmem.
+	BytesPerOp        []float64 `json:"bytes_per_op,omitempty"`
+	MedianBytesPerOp  float64   `json:"median_bytes_per_op,omitempty"`
+	AllocsPerOp       []float64 `json:"allocs_per_op,omitempty"`
+	MedianAllocsPerOp float64   `json:"median_allocs_per_op,omitempty"`
 }
 
 // Snapshot is the parsed form of one `go test -bench` run.
@@ -140,7 +152,7 @@ func ParseBench(r io.Reader) (*Snapshot, error) {
 		case strings.HasPrefix(line, "cpu: "):
 			s.CPU = strings.TrimPrefix(line, "cpu: ")
 		case strings.HasPrefix(line, "Benchmark"):
-			name, ns, ok, err := parseResultLine(line)
+			name, r, ok, err := parseResultLine(line)
 			if err != nil {
 				return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
 			}
@@ -153,35 +165,60 @@ func ParseBench(r io.Reader) (*Snapshot, error) {
 				b = &Bench{}
 				s.Benchmarks[name] = b
 			}
-			b.NsPerOp = append(b.NsPerOp, ns)
+			b.NsPerOp = append(b.NsPerOp, r.ns)
+			if r.hasBytes {
+				b.BytesPerOp = append(b.BytesPerOp, r.bytes)
+			}
+			if r.hasAllocs {
+				b.AllocsPerOp = append(b.AllocsPerOp, r.allocs)
+			}
 		}
 	}
 	for _, b := range s.Benchmarks {
 		b.MedianNsPerOp = median(b.NsPerOp)
+		b.MedianBytesPerOp = median(b.BytesPerOp)
+		b.MedianAllocsPerOp = median(b.AllocsPerOp)
 	}
 	return s, nil
 }
 
+// result is the measurements carried by one benchmark output line: ns/op
+// always, B/op and allocs/op only when the run used -benchmem.
+type result struct {
+	ns, bytes, allocs   float64
+	hasBytes, hasAllocs bool
+}
+
 // parseResultLine splits one benchmark result line into its normalized
-// name and ns/op value. ok is false for lines that carry no measurements
+// name and measurements. ok is false for lines that carry no ns/op value
 // (verbose-mode RUN announcements).
-func parseResultLine(line string) (name string, nsPerOp float64, ok bool, err error) {
+func parseResultLine(line string) (name string, r result, ok bool, err error) {
 	fields := strings.Fields(line)
 	if len(fields) < 4 {
-		return "", 0, false, nil
+		return "", result{}, false, nil
 	}
 	name = normalizeName(fields[0])
 	// fields[1] is the iteration count; after it come value/unit pairs.
 	for i := 2; i+1 < len(fields); i += 2 {
-		if fields[i+1] != "ns/op" {
-			continue
+		var dst *float64
+		switch fields[i+1] {
+		case "ns/op":
+			dst, ok = &r.ns, true
+		case "B/op":
+			dst, r.hasBytes = &r.bytes, true
+		case "allocs/op":
+			dst, r.hasAllocs = &r.allocs, true
+		default:
+			continue // custom ReportMetric units (msgs/kcycle etc.)
 		}
-		if _, err := fmt.Sscanf(fields[i], "%g", &nsPerOp); err != nil {
-			return "", 0, false, fmt.Errorf("bad ns/op value %q in %q", fields[i], line)
+		if _, err := fmt.Sscanf(fields[i], "%g", dst); err != nil {
+			return "", result{}, false, fmt.Errorf("bad %s value %q in %q", fields[i+1], fields[i], line)
 		}
-		return name, nsPerOp, true, nil
 	}
-	return "", 0, false, nil
+	if !ok {
+		return "", result{}, false, nil
+	}
+	return name, r, true, nil
 }
 
 // normalizeName strips the trailing -N GOMAXPROCS suffix Go appends to
@@ -230,15 +267,27 @@ func ReadSnapshot(path string) (*Snapshot, error) {
 		if b.MedianNsPerOp == 0 {
 			b.MedianNsPerOp = median(b.NsPerOp)
 		}
+		if b.MedianBytesPerOp == 0 {
+			b.MedianBytesPerOp = median(b.BytesPerOp)
+		}
+		if b.MedianAllocsPerOp == 0 {
+			b.MedianAllocsPerOp = median(b.AllocsPerOp)
+		}
 	}
 	return &s, nil
 }
 
 // Compare renders a delta table over the benchmarks the two snapshots
 // share and evaluates the gate: every gated benchmark must exist in both
-// snapshots and its median ns/op must not regress by more than
-// maxRegress percent. Returned failures are empty when the gate holds.
-func Compare(base, cur *Snapshot, gates []string, maxRegress float64) (report string, failures []string) {
+// snapshots, its median ns/op must not regress by more than maxRegress
+// percent, and — when both snapshots carry -benchmem samples — its median
+// allocs/op must not exceed the baseline's at all (zero tolerance: the
+// hot path allocates nothing in steady state, so any increase is a leak,
+// not noise). With requireMem, a gated benchmark missing allocs/op
+// samples on either side is itself a failure; otherwise the alloc gate is
+// skipped for it with a note in the report. Returned failures are empty
+// when the gate holds.
+func Compare(base, cur *Snapshot, gates []string, maxRegress float64, requireMem bool) (report string, failures []string) {
 	var sb strings.Builder
 	names := make([]string, 0, len(cur.Benchmarks))
 	for name := range cur.Benchmarks {
@@ -251,7 +300,9 @@ func Compare(base, cur *Snapshot, gates []string, maxRegress float64) (report st
 	for _, g := range gates {
 		gated[g] = true
 	}
-	fmt.Fprintf(&sb, "%-55s %14s %14s %8s\n", "benchmark", "base ns/op", "cur ns/op", "delta")
+	var notes []string
+	fmt.Fprintf(&sb, "%-55s %14s %14s %8s %12s %12s\n",
+		"benchmark", "base ns/op", "cur ns/op", "delta", "base allocs", "cur allocs")
 	for _, name := range names {
 		b, c := base.Benchmarks[name], cur.Benchmarks[name]
 		delta := 100 * (c.MedianNsPerOp - b.MedianNsPerOp) / b.MedianNsPerOp
@@ -263,9 +314,30 @@ func Compare(base, cur *Snapshot, gates []string, maxRegress float64) (report st
 				failures = append(failures,
 					fmt.Sprintf("%s regressed %.1f%% (limit %.0f%%)", name, delta, maxRegress))
 			}
+			switch {
+			case len(b.AllocsPerOp) == 0 || len(c.AllocsPerOp) == 0:
+				side := "baseline"
+				if len(b.AllocsPerOp) > 0 {
+					side = "current run"
+				}
+				if requireMem {
+					mark = "  [FAIL]"
+					failures = append(failures,
+						fmt.Sprintf("%s has no allocs/op samples in the %s (run with -benchmem)", name, side))
+				} else {
+					notes = append(notes,
+						fmt.Sprintf("note: %s has no allocs/op samples in the %s; alloc gate skipped", name, side))
+				}
+			case c.MedianAllocsPerOp > b.MedianAllocsPerOp:
+				mark = "  [FAIL]"
+				failures = append(failures,
+					fmt.Sprintf("%s allocs/op regressed %.1f -> %.1f (zero tolerance)",
+						name, b.MedianAllocsPerOp, c.MedianAllocsPerOp))
+			}
 		}
-		fmt.Fprintf(&sb, "%-55s %14.1f %14.1f %+7.1f%%%s\n",
-			name, b.MedianNsPerOp, c.MedianNsPerOp, delta, mark)
+		fmt.Fprintf(&sb, "%-55s %14.1f %14.1f %+7.1f%% %12s %12s%s\n",
+			name, b.MedianNsPerOp, c.MedianNsPerOp, delta,
+			allocCol(b), allocCol(c), mark)
 	}
 	for _, g := range gates {
 		if _, inCur := cur.Benchmarks[g]; !inCur {
@@ -274,5 +346,17 @@ func Compare(base, cur *Snapshot, gates []string, maxRegress float64) (report st
 			failures = append(failures, fmt.Sprintf("gated benchmark %s missing from baseline", g))
 		}
 	}
+	for _, n := range notes {
+		sb.WriteString(n + "\n")
+	}
 	return sb.String(), failures
+}
+
+// allocCol formats one snapshot's median allocs/op for the report table,
+// "-" when the run carried no -benchmem samples.
+func allocCol(b *Bench) string {
+	if len(b.AllocsPerOp) == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", b.MedianAllocsPerOp)
 }

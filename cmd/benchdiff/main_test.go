@@ -12,10 +12,10 @@ const sampleRun = `goos: linux
 goarch: amd64
 pkg: repro
 cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
-BenchmarkStepTorusLinkCache-8   	    5000	      9000 ns/op
-BenchmarkStepTorusLinkCache-8   	    5000	      9200 ns/op
-BenchmarkStepTorusLinkCache-8   	    5000	      8800 ns/op
-BenchmarkStepVCActiveSet/mod-k8-v6-8         	    5000	     14209 ns/op
+BenchmarkStepTorusLinkCache-8   	    5000	      9000 ns/op	       3 B/op	       0 allocs/op
+BenchmarkStepTorusLinkCache-8   	    5000	      9200 ns/op	       2 B/op	       0 allocs/op
+BenchmarkStepTorusLinkCache-8   	    5000	      8800 ns/op	       2 B/op	       0 allocs/op
+BenchmarkStepVCActiveSet/mod-k8-v6-8         	    5000	     14209 ns/op	       0 B/op	       0 allocs/op
 BenchmarkSourcePoll/poisson-8 	 1000000	       940.5 ns/op	        10.00 msgs/kcycle
 PASS
 ok  	repro	4.236s
@@ -47,6 +47,14 @@ func TestParseBench(t *testing.T) {
 	if poll == nil || math.Abs(poll.MedianNsPerOp-940.5) > 1e-9 {
 		t.Fatalf("fractional ns/op not parsed: %+v", poll)
 	}
+	// -benchmem columns become samples with medians; a line without them
+	// (the custom-metric poll benchmark) simply carries none.
+	if len(b.BytesPerOp) != 3 || b.MedianBytesPerOp != 2 || b.MedianAllocsPerOp != 0 || len(b.AllocsPerOp) != 3 {
+		t.Fatalf("memory samples not parsed: %+v", b)
+	}
+	if len(poll.BytesPerOp) != 0 || len(poll.AllocsPerOp) != 0 {
+		t.Fatalf("phantom memory samples on benchmem-less line: %+v", poll)
+	}
 }
 
 func TestParseBenchSkipsAnnouncements(t *testing.T) {
@@ -74,7 +82,7 @@ func TestCompareGate(t *testing.T) {
 
 	// Within tolerance: +10% on the gate, 3x on an ungated benchmark.
 	cur := snap(t, "BenchmarkStepTorusLinkCache-8 5000 9900 ns/op\nBenchmarkOther-8 100 300 ns/op\n")
-	report, failures := Compare(base, cur, gates, 15)
+	report, failures := Compare(base, cur, gates, 15, false)
 	if len(failures) != 0 {
 		t.Fatalf("within-tolerance run failed the gate: %v\n%s", failures, report)
 	}
@@ -84,7 +92,7 @@ func TestCompareGate(t *testing.T) {
 
 	// Injected 2x slowdown on the gated benchmark must fail.
 	slow := snap(t, "BenchmarkStepTorusLinkCache-8 5000 18000 ns/op\n")
-	report, failures = Compare(base, slow, gates, 15)
+	report, failures = Compare(base, slow, gates, 15, false)
 	if len(failures) != 1 || !strings.Contains(failures[0], "regressed 100.0%") {
 		t.Fatalf("2x slowdown not caught: %v\n%s", failures, report)
 	}
@@ -93,9 +101,51 @@ func TestCompareGate(t *testing.T) {
 	}
 
 	// A gated benchmark missing from the current run must fail too.
-	_, failures = Compare(base, snap(t, "BenchmarkOther-8 100 100 ns/op\n"), gates, 15)
+	_, failures = Compare(base, snap(t, "BenchmarkOther-8 100 100 ns/op\n"), gates, 15, false)
 	if len(failures) != 1 || !strings.Contains(failures[0], "missing from current run") {
 		t.Fatalf("missing gated benchmark not caught: %v", failures)
+	}
+}
+
+func TestCompareAllocGate(t *testing.T) {
+	base := snap(t, "BenchmarkStepTorusLinkCache-8 5000 9000 ns/op 2 B/op 0 allocs/op\n")
+	gates := []string{"BenchmarkStepTorusLinkCache"}
+
+	// Same allocs/op, slightly different time: the alloc gate holds.
+	same := snap(t, "BenchmarkStepTorusLinkCache-8 5000 9100 ns/op 3 B/op 0 allocs/op\n")
+	report, failures := Compare(base, same, gates, 15, true)
+	if len(failures) != 0 {
+		t.Fatalf("alloc-stable run failed the gate: %v\n%s", failures, report)
+	}
+
+	// Any increase in allocs/op fails, even with time well within
+	// tolerance — zero tolerance on the allocation count.
+	leaky := snap(t, "BenchmarkStepTorusLinkCache-8 5000 9100 ns/op 64 B/op 2 allocs/op\n")
+	report, failures = Compare(base, leaky, gates, 15, true)
+	if len(failures) != 1 || !strings.Contains(failures[0], "allocs/op regressed 0.0 -> 2.0") {
+		t.Fatalf("allocs/op leak not caught: %v\n%s", failures, report)
+	}
+	if !strings.Contains(report, "[FAIL]") {
+		t.Fatalf("report does not flag the alloc failure:\n%s", report)
+	}
+
+	// A pre-benchmem baseline skips the alloc gate with a note by
+	// default, and fails it under -require-mem.
+	oldBase := snap(t, "BenchmarkStepTorusLinkCache-8 5000 9000 ns/op\n")
+	report, failures = Compare(oldBase, leaky, gates, 15, false)
+	if len(failures) != 0 || !strings.Contains(report, "alloc gate skipped") {
+		t.Fatalf("benchmem-less baseline not skipped: %v\n%s", failures, report)
+	}
+	_, failures = Compare(oldBase, leaky, gates, 15, true)
+	if len(failures) != 1 || !strings.Contains(failures[0], "no allocs/op samples in the baseline") {
+		t.Fatalf("-require-mem did not fail on benchmem-less baseline: %v", failures)
+	}
+
+	// Current run missing -benchmem against a baseline that has it.
+	bare := snap(t, "BenchmarkStepTorusLinkCache-8 5000 9000 ns/op\n")
+	_, failures = Compare(base, bare, gates, 15, true)
+	if len(failures) != 1 || !strings.Contains(failures[0], "no allocs/op samples in the current run") {
+		t.Fatalf("-require-mem did not fail on benchmem-less current run: %v", failures)
 	}
 }
 
@@ -106,14 +156,15 @@ func TestRunRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	baseJSON := filepath.Join(dir, "baseline.json")
-	if err := run(txt, baseJSON, "", "", 15, &strings.Builder{}); err != nil {
+	if err := run(txt, baseJSON, "", "", 15, false, &strings.Builder{}); err != nil {
 		t.Fatal(err)
 	}
 
-	// Same run vs its own snapshot: 0% delta, gate holds.
+	// Same run vs its own snapshot: 0% delta, both gates hold — with
+	// -require-mem, since the sample run carries -benchmem columns.
 	var out strings.Builder
 	err := run(txt, filepath.Join(dir, "cur.json"), baseJSON,
-		"BenchmarkStepTorusLinkCache", 15, &out)
+		"BenchmarkStepTorusLinkCache", 15, true, &out)
 	if err != nil {
 		t.Fatalf("self-compare failed: %v\n%s", err, out.String())
 	}
@@ -126,7 +177,7 @@ func TestRunRoundTrip(t *testing.T) {
 	if err := os.WriteFile(slowTxt, []byte(doctored), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	err = run(slowTxt, "", baseJSON, "BenchmarkStepTorusLinkCache", 15, &strings.Builder{})
+	err = run(slowTxt, "", baseJSON, "BenchmarkStepTorusLinkCache", 15, false, &strings.Builder{})
 	if err == nil || !strings.Contains(err.Error(), "regression gate failed") {
 		t.Fatalf("injected 2x slowdown did not fail the gate: %v", err)
 	}

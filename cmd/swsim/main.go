@@ -41,6 +41,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -84,6 +86,9 @@ func main() {
 		workers    = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 		findSat    = flag.Bool("find-sat", false, "bisection auto-search for the saturation λ instead of a fixed grid")
 		satFactor  = flag.Float64("sat-factor", 3, "saturation threshold as a multiple of zero-load latency (with -find-sat)")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with 'go tool pprof')")
+		memprofile = flag.String("memprofile", "", "write an end-of-run heap profile to this file (inspect with 'go tool pprof')")
 	)
 	flag.Parse()
 
@@ -178,6 +183,13 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "swsim: %v\n", err)
+		os.Exit(2)
+	}
+	defer stopProfiles()
+
 	opt := sweep.Options{Workers: *workers, Checkpoint: *checkpoint, Shard: shard, Log: os.Stderr}
 	if *mergeList != "" {
 		total, err := sweep.MergeJournals(*checkpoint, strings.Split(*mergeList, ",")...)
@@ -245,6 +257,50 @@ func main() {
 		fmt.Println(csvHeader)
 	}
 	fmt.Println(csvRow(*lambda, res))
+}
+
+// startProfiles begins CPU profiling and arranges the end-of-run heap
+// profile, both optional (empty path = off). The returned stop function
+// flushes them; main defers it, so the profiles survive every normal exit
+// path — error paths that os.Exit skip the flush, as in go test. The heap
+// profile is taken after a forced GC so it shows live retained memory (the
+// arena, link tables, buffers), not collected garbage.
+func startProfiles(cpu, mem string) (func(), error) {
+	var cpuFile *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "swsim: closing cpu profile: %v\n", err)
+			}
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "swsim: %v\n", err)
+				return
+			}
+			runtime.GC()
+			werr := pprof.WriteHeapProfile(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				fmt.Fprintf(os.Stderr, "swsim: writing heap profile: %v\n", werr)
+			}
+		}
+	}, nil
 }
 
 // csvHeader and csvRow define the one-row-per-point output format shared

@@ -141,6 +141,11 @@ type Config struct {
 	// Benchmark/ablation knob: results are bit-identical either way, only
 	// Step cost differs.
 	NoLinkCache bool
+	// NoArena disables the message arena and allocates every message on
+	// the garbage-collected heap, as the engine originally did.
+	// Benchmark/ablation knob mirroring DenseScan/NoLinkCache: results are
+	// bit-identical either way, only allocation behaviour differs.
+	NoArena bool
 	// Seed makes the run reproducible.
 	Seed uint64
 }

@@ -307,7 +307,7 @@ func TestMaxCyclesTracksSourceRate(t *testing.T) {
 	fs := fault.NewSet(tor)
 	build := func(c Config) traffic.Source {
 		t.Helper()
-		src, err := buildWorkload(c, tor, fs, message.Deterministic, rng.New(c.Seed).Split(1))
+		src, err := buildWorkload(c, tor, fs, message.Deterministic, nil, rng.New(c.Seed).Split(1))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -52,7 +52,7 @@ func BuildFaults(t topology.Network, spec FaultSpec, seed uint64) (*fault.Set, e
 // stream the pre-registry code handed to traffic.NewGenerator (the run
 // seed's Split(1)) so the default poisson+uniform path consumes random
 // numbers in exactly the historical order.
-func buildWorkload(c Config, t topology.Network, fs *fault.Set, mode message.Mode, r *rng.Stream) (traffic.Source, error) {
+func buildWorkload(c Config, t topology.Network, fs *fault.Set, mode message.Mode, pool *message.Pool, r *rng.Stream) (traffic.Source, error) {
 	pattern, err := traffic.NewPattern(c.PatternSpec(), t, fs)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -66,6 +66,7 @@ func buildWorkload(c Config, t topology.Network, fs *fault.Set, mode message.Mod
 		Mode:    mode,
 		Pattern: pattern,
 		R:       r,
+		Pool:    pool,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -76,25 +77,38 @@ func buildWorkload(c Config, t topology.Network, fs *fault.Set, mode message.Mod
 	return src, nil
 }
 
-// Run executes one simulation point to completion and returns its measured
-// results. The run ends when the measured delivery quota is met, or is cut
-// short (and flagged saturated) when the cycle bound or the source-backlog
-// threshold is hit.
-func Run(c Config) (metrics.Results, error) {
+// Engine is one fully constructed simulation point that the caller steps
+// explicitly. Run remains the one-shot façade; the steppable form exists
+// for callers that must separate construction from execution — benchmarks
+// measuring steady-state Step cost, debuggers, visualisers.
+type Engine struct {
+	nw           *network.Network
+	col          *metrics.Collector
+	sources      int
+	quota        uint64
+	limit        int64
+	backlogLimit int
+	saturated    bool
+}
+
+// NewEngine validates the config and builds the simulation point: topology,
+// faults, routing algorithm, workload, message pool and engine, all wired
+// together but not yet advanced a single cycle.
+func NewEngine(c Config) (*Engine, error) {
 	if err := c.Validate(); err != nil {
-		return metrics.Results{}, err
+		return nil, err
 	}
 	t, err := c.BuildTopology()
 	if err != nil {
-		return metrics.Results{}, err
+		return nil, err
 	}
 	fs, err := BuildFaults(t, c.Faults, c.Seed)
 	if err != nil {
-		return metrics.Results{}, err
+		return nil, err
 	}
 	alg, err := routing.New(c.AlgorithmName(), t, fs, c.V)
 	if err != nil {
-		return metrics.Results{}, err
+		return nil, err
 	}
 	mode := alg.BaseMode()
 	if c.Escalation > 0 {
@@ -104,9 +118,12 @@ func Run(c Config) (metrics.Results, error) {
 	}
 	r := rng.New(c.Seed)
 	sources := fs.HealthyNodes()
-	gen, err := buildWorkload(c, t, fs, mode, r.Split(1))
+	// One pool serves the source (allocation) and the engine (resolution,
+	// recycling); see message.Pool for the determinism contract.
+	pool := message.NewPool(t.N(), c.NoArena)
+	gen, err := buildWorkload(c, t, fs, mode, pool, r.Split(1))
 	if err != nil {
-		return metrics.Results{}, err
+		return nil, err
 	}
 	col := metrics.NewCollector(c.WarmupMessages)
 	params := network.Params{
@@ -120,23 +137,63 @@ func Run(c Config) (metrics.Results, error) {
 		DenseScan:          c.DenseScan,
 		DenseVCScan:        c.DenseVCScan,
 		NoLinkCache:        c.NoLinkCache,
+		NoArena:            c.NoArena,
+		Pool:               pool,
 	}
 	nw := network.New(t, fs, alg, gen, col, params, r.Split(2))
+	return &Engine{
+		nw:           nw,
+		col:          col,
+		sources:      len(sources),
+		quota:        uint64(c.MeasureMessages),
+		limit:        c.maxCycles(gen, len(sources)),
+		backlogLimit: c.saturationBacklog(len(sources)),
+	}, nil
+}
 
-	quota := uint64(c.MeasureMessages)
-	limit := c.maxCycles(gen, len(sources))
-	backlogLimit := c.saturationBacklog(len(sources))
-	saturated := false
-	for col.DeliveredCount() < quota {
-		if nw.Now() >= limit {
-			saturated = true
-			break
-		}
-		nw.Step()
-		if nw.Now()%1024 == 0 && nw.Backlog() > backlogLimit {
-			saturated = true
-			break
-		}
+// Step advances the simulation one cycle.
+func (e *Engine) Step() { e.nw.Step() }
+
+// Now returns the current cycle.
+func (e *Engine) Now() int64 { return e.nw.Now() }
+
+// Network exposes the underlying engine for inspection.
+func (e *Engine) Network() *network.Network { return e.nw }
+
+// Done reports whether the run's termination condition has been reached:
+// delivery quota met, cycle bound hit, or source backlog over the
+// saturation threshold (the latter two flag the run saturated).
+func (e *Engine) Done() bool {
+	if e.col.DeliveredCount() >= e.quota {
+		return true
 	}
-	return col.Finalize(nw.Now(), len(sources), saturated), nil
+	if e.nw.Now() >= e.limit {
+		e.saturated = true
+		return true
+	}
+	if e.nw.Now()%1024 == 0 && e.nw.Backlog() > e.backlogLimit {
+		e.saturated = true
+		return true
+	}
+	return false
+}
+
+// Finalize computes the run's measured results at the current cycle.
+func (e *Engine) Finalize() metrics.Results {
+	return e.col.Finalize(e.nw.Now(), e.sources, e.saturated)
+}
+
+// Run executes one simulation point to completion and returns its measured
+// results. The run ends when the measured delivery quota is met, or is cut
+// short (and flagged saturated) when the cycle bound or the source-backlog
+// threshold is hit.
+func Run(c Config) (metrics.Results, error) {
+	e, err := NewEngine(c)
+	if err != nil {
+		return metrics.Results{}, err
+	}
+	for !e.Done() {
+		e.Step()
+	}
+	return e.Finalize(), nil
 }

@@ -8,6 +8,13 @@
 // encounters a faulty component it is removed from the network, its header
 // modified in software, and the message re-injected with priority at the
 // absorbing node.
+//
+// Messages live in a Pool (see pool.go): an index-addressed arena keyed by
+// compact Ref handles, so the engine's hot path carries 8-byte flits instead
+// of pointers and delivered messages are recycled instead of collected. The
+// per-dimension header state is held in fixed-size arrays (MaxDims), so
+// constructing a message allocates nothing beyond the Message itself — and
+// with the arena, not even that.
 package message
 
 import (
@@ -15,6 +22,12 @@ import (
 
 	"repro/internal/topology"
 )
+
+// MaxDims is the largest network dimensionality a message header can carry.
+// The per-dimension rerouting state (DirOverride/Reversed/Crossed) is stored
+// in fixed-size arrays of this length so message construction performs no
+// per-dimension allocations; 16 dimensions covers a 65536-node hypercube.
+const MaxDims = 16
 
 // Mode selects the base routing discipline of a message, mirroring the
 // paper's routing_type variable.
@@ -49,21 +62,44 @@ const (
 	TailFlit
 )
 
-// Flit is one flow-control digit of a message. Flits exist only inside
-// router buffers; Seq runs 0 (head) .. Msg.Len-1 (tail). Single-flit
-// messages have a flit that is simultaneously head and tail; Type() reports
-// HeadFlit for it and callers check IsTail separately.
+// tailBit marks the tail flit in Flit's packed seq word, so IsTail needs no
+// pool lookup.
+const tailBit = 1 << 31
+
+// Flit is one flow-control digit of a message: an 8-byte value carrying the
+// owning message's pool Ref and the flit's sequence number (tail flag packed
+// into the top bit). Flits exist only inside router buffers; Seq runs
+// 0 (head) .. Len-1 (tail). Single-flit messages have a flit that is
+// simultaneously head and tail; Type() reports HeadFlit for it and callers
+// check IsTail separately. Because a Flit holds no pointer, buffered flits
+// are invisible to the garbage collector.
 type Flit struct {
-	Msg *Message
-	Seq int
+	ref Ref
+	seq uint32
 }
+
+// MakeFlit materialises flit seq of a worm of msgLen flits registered under
+// ref.
+func MakeFlit(ref Ref, seq, msgLen int) Flit {
+	s := uint32(seq)
+	if seq == msgLen-1 {
+		s |= tailBit
+	}
+	return Flit{ref: ref, seq: s}
+}
+
+// Ref returns the pool handle of the owning message.
+func (f Flit) Ref() Ref { return f.ref }
+
+// Seq returns the flit's position in the worm (0 = head).
+func (f Flit) Seq() int { return int(f.seq &^ tailBit) }
 
 // Type classifies the flit by position.
 func (f Flit) Type() FlitType {
 	switch {
-	case f.Seq == 0:
+	case f.seq&^tailBit == 0:
 		return HeadFlit
-	case f.Seq == f.Msg.Len-1:
+	case f.seq&tailBit != 0:
 		return TailFlit
 	default:
 		return BodyFlit
@@ -71,19 +107,23 @@ func (f Flit) Type() FlitType {
 }
 
 // IsHead reports whether this is the header flit.
-func (f Flit) IsHead() bool { return f.Seq == 0 }
+func (f Flit) IsHead() bool { return f.seq&^tailBit == 0 }
 
 // IsTail reports whether this is the last flit of the worm.
-func (f Flit) IsTail() bool { return f.Seq == f.Msg.Len-1 }
+func (f Flit) IsTail() bool { return f.seq&tailBit != 0 }
 
 // Header is the software-rewritable routing state carried by the head flit.
 // Fields other than Dst are manipulated exclusively by the Software-Based
-// messaging layer (internal/routing) when the message is absorbed.
+// messaging layer (internal/routing) when the message is absorbed. The
+// per-dimension tables are fixed-size arrays (dimensions >= the network's N
+// are simply unused) so a header never allocates.
 type Header struct {
 	// Dst is the final destination.
 	Dst topology.NodeID
 	// Via is a stack of intermediate destinations (last element on top).
 	// The message routes to the top of the stack first; reaching it pops.
+	// The backing store is retained across pool recycles, so a steady-state
+	// workload stops allocating once the worst-case chain depth is reached.
 	Via []topology.NodeID
 	// Mode is the current routing discipline.
 	Mode Mode
@@ -93,16 +133,16 @@ type Header struct {
 	// DirOverride forces a (possibly non-minimal) ring direction per
 	// dimension; 0 means route minimally. Set by rerouting table T1
 	// (reverse on first fault in a dimension).
-	DirOverride []topology.Dir
+	DirOverride [MaxDims]topology.Dir
 	// Reversed records dimensions in which T1 has already been applied, so
 	// a second fault in the same dimension escalates to the orthogonal
 	// detour (table T2).
-	Reversed []bool
+	Reversed [MaxDims]bool
 	// Crossed records, per dimension, whether the worm has crossed the
 	// ring's wraparound edge since (re-)injection; it selects the dateline
 	// virtual-channel class. Reset on re-injection (a re-injected message
 	// is a fresh worm).
-	Crossed []bool
+	Crossed [MaxDims]bool
 	// Detoured marks headers that have been given their load-balancing
 	// intermediate destination (set once by two-phase algorithms such as
 	// valiant); it survives via pops and re-injection so the detour is
@@ -150,28 +190,49 @@ type Message struct {
 	DeliveredAt int64
 	// Pending is the engine's transient ejection reason for the worm.
 	Pending StopReason
+
+	// refp1 is the message's Pool handle plus one; 0 means the message is
+	// not registered in a pool. The +1 shift keeps the zero Message safely
+	// unregistered.
+	refp1 int32
+	// owned marks messages whose storage belongs to a Pool's arena and is
+	// recycled on Free; adopted foreign messages stay false and are simply
+	// unregistered.
+	owned bool
 }
 
-// New constructs a message of length flits from src to dst in the given
-// mode for an n-dimensional torus.
+// New constructs a heap-allocated message of length flits from src to dst in
+// the given mode for an n-dimensional network. Engine-driven runs allocate
+// through a Pool instead (see Pool.New / NewIn); this constructor remains
+// for tests, analysis tools and callers that hand messages to
+// Network.Enqueue, which registers them in the engine's pool via Adopt.
 func New(id uint64, src, dst topology.NodeID, length, n int, mode Mode, createdAt int64) *Message {
 	if length < 1 {
 		panic(fmt.Sprintf("message: length must be >= 1, got %d", length))
+	}
+	if n > MaxDims {
+		panic(fmt.Sprintf("message: %d dimensions exceed MaxDims=%d", n, MaxDims))
 	}
 	return &Message{
 		ID:  id,
 		Src: src,
 		Len: length,
 		Header: Header{
-			Dst:         dst,
-			Mode:        mode,
-			DirOverride: make([]topology.Dir, n),
-			Reversed:    make([]bool, n),
-			Crossed:     make([]bool, n),
+			Dst:  dst,
+			Mode: mode,
 		},
 		CreatedAt:   createdAt,
 		DeliveredAt: -1,
 	}
+}
+
+// Ref returns the message's pool handle; ok is false when the message is
+// not registered in a Pool.
+func (m *Message) Ref() (Ref, bool) {
+	if m.refp1 == 0 {
+		return NilRef, false
+	}
+	return Ref(m.refp1 - 1), true
 }
 
 // Target returns the node the message is currently routing towards: the top
@@ -211,17 +272,19 @@ func (m *Message) PopViasAt(node topology.NodeID) {
 // Direction overrides and reversal history persist — they are the rerouting
 // decision.
 func (m *Message) ResetForReinjection() {
-	for i := range m.Crossed {
-		m.Crossed[i] = false
-	}
+	m.Crossed = [MaxDims]bool{}
 }
 
-// Flit materialises flit seq of the worm.
+// Flit materialises flit seq of the worm. The message must be registered in
+// a Pool (flits carry the pool Ref, not a pointer).
 func (m *Message) Flit(seq int) Flit {
 	if seq < 0 || seq >= m.Len {
 		panic(fmt.Sprintf("message: flit seq %d out of range [0,%d)", seq, m.Len))
 	}
-	return Flit{Msg: m, Seq: seq}
+	if m.refp1 == 0 {
+		panic("message: Flit on a message not registered in a Pool")
+	}
+	return MakeFlit(Ref(m.refp1-1), seq, m.Len)
 }
 
 func (m *Message) String() string {

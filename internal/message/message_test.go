@@ -7,7 +7,8 @@ import (
 )
 
 func TestFlitTypes(t *testing.T) {
-	m := New(1, 0, 5, 4, 2, Deterministic, 0)
+	pool := NewPool(2, false)
+	m := pool.New(1, 0, 5, 4, Deterministic, 0)
 	if m.Flit(0).Type() != HeadFlit || !m.Flit(0).IsHead() {
 		t.Error("flit 0 should be head")
 	}
@@ -17,7 +18,7 @@ func TestFlitTypes(t *testing.T) {
 	if m.Flit(3).Type() != TailFlit || !m.Flit(3).IsTail() {
 		t.Error("flit 3 should be tail")
 	}
-	single := New(2, 0, 5, 1, 2, Adaptive, 0)
+	single := pool.New(2, 0, 5, 1, Adaptive, 0)
 	f := single.Flit(0)
 	if !f.IsHead() || !f.IsTail() {
 		t.Error("single-flit message must be both head and tail")
@@ -25,7 +26,7 @@ func TestFlitTypes(t *testing.T) {
 }
 
 func TestFlitRangePanics(t *testing.T) {
-	m := New(1, 0, 5, 4, 2, Deterministic, 0)
+	m := NewPool(2, false).New(1, 0, 5, 4, Deterministic, 0)
 	for _, seq := range []int{-1, 4} {
 		func() {
 			defer func() {

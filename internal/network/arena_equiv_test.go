@@ -1,0 +1,43 @@
+package network
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// TestArenaMatchesHeap is the message arena's bit-identity proof, the
+// allocation-layer analogue of TestLinkCacheMatchesDispatch: an engine
+// recycling messages through the index-addressed pool (Refs end-to-end,
+// storage reused LIFO on delivery) must produce the exact same event trace
+// — every injection, hop, absorption, re-injection and delivery at the
+// same cycle — and the same finalised results as one allocating every
+// message on the garbage-collected heap (Params.NoArena), for the same
+// seed. The grid spans both topology families, fault-free and faulted
+// runs (absorption frees and re-binds slots mid-flight), both routing
+// disciplines, and a non-uniform latency overlay; recycling bugs — stale
+// Refs, header state leaking across a slot's successive occupants,
+// allocation order influencing rng draws — would desynchronise the traces
+// immediately.
+func TestArenaMatchesHeap(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		net  func(t *testing.T) topology.Network
+		alg  string
+		nf   int
+	}{
+		{"torus-det-faultfree", func(*testing.T) topology.Network { return topology.New(8, 2) }, "det", 0},
+		{"torus-det-faults", func(*testing.T) topology.Network { return topology.New(8, 2) }, "det", 6},
+		{"torus-adaptive-faults", func(*testing.T) topology.Network { return topology.New(8, 2) }, "adaptive", 6},
+		{"mesh-det-faultfree", func(*testing.T) topology.Network { return topology.NewMesh(8, 2) }, "det", 0},
+		{"mesh-det-faults", func(*testing.T) topology.Network { return topology.NewMesh(8, 2) }, "det", 4},
+		{"latmap-torus", latmapTorus, "det", 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			evArena, resArena := runTraced(t, tc.net(t), tc.alg, tc.nf, nil)
+			evHeap, resHeap := runTraced(t, tc.net(t), tc.alg, tc.nf,
+				func(p *Params) { p.NoArena = true })
+			assertSameRun(t, evArena, evHeap, resArena, resHeap, "arena vs heap")
+		})
+	}
+}

@@ -12,6 +12,12 @@
 //
 // The engine is single-goroutine and fully deterministic for a given seed;
 // sweeps parallelise across engine instances (see internal/core).
+//
+// Messages live in a message.Pool: every queue, stream and buffered flit
+// carries a compact message.Ref instead of a pointer, and delivery/drop
+// returns the message to the pool — so a steady-state Step allocates
+// nothing (see the BenchmarkStep* suite and Config.NoArena for the heap
+// ablation).
 package network
 
 import (
@@ -79,6 +85,19 @@ type Params struct {
 	// refactor: results are bit-identical either way, only the dispatch
 	// cost differs.
 	NoLinkCache bool
+	// NoArena selects the heap message path: the engine's pool hands out a
+	// fresh garbage-collected Message per allocation instead of recycling
+	// arena storage. Benchmark/ablation knob in the DenseScan family:
+	// results are bit-identical either way, only allocation behaviour
+	// differs. Ignored when Pool is set (the pool carries its own mode).
+	NoArena bool
+	// Pool, when non-nil, is the message pool the engine registers, resolves
+	// and frees messages in. It must be the same pool the traffic source
+	// allocates from (see traffic.Env.Pool); internal/core wires the two.
+	// When nil, the engine builds its own pool and Adopt-registers every
+	// polled or enqueued message — correct, but source-side allocations
+	// then stay on the heap.
+	Pool *message.Pool
 }
 
 // DefaultParams returns the paper's configuration: Td = 0, Δ = 0,
@@ -123,24 +142,47 @@ type link struct {
 
 // pendingMsg is a queued message at a node's software layer.
 type pendingMsg struct {
-	m          *message.Message
+	ref        message.Ref
 	eligibleAt int64
 }
 
 // stream is a message currently trickling through a node's injection
-// channel into an injection-port virtual channel.
+// channel into an injection-port virtual channel. len caches the worm
+// length so per-flit injection needs no pool lookup.
 type stream struct {
-	m   *message.Message
+	ref message.Ref
+	len int
 	vc  int
 	seq int
 }
 
+// fifo is a head-indexed FIFO whose backing array is reused: popping
+// advances the head, and full drains rewind it, so steady-state traffic
+// stops allocating (a plain q = q[1:] pop leaks the front capacity and
+// reallocates forever).
+type fifo[T any] struct {
+	items []T
+	head  int
+}
+
+func (q *fifo[T]) Len() int { return len(q.items) - q.head }
+func (q *fifo[T]) Push(v T) { q.items = append(q.items, v) }
+func (q *fifo[T]) Front() T { return q.items[q.head] }
+func (q *fifo[T]) Pop() {
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+}
+
 // Network is the simulation engine.
 type Network struct {
-	t   topology.Network
-	f   *fault.Set
-	alg routing.Router
-	p   Params
+	t    topology.Network
+	f    *fault.Set
+	alg  routing.Router
+	p    Params
+	pool *message.Pool
 
 	// links is the per-(node, port) geometry/latency table (see link);
 	// uniformLat records whether every link shares the default latency, in
@@ -156,8 +198,8 @@ type Network struct {
 	// Per-node software queues: fresh traffic and re-injections (the latter
 	// have absolute priority, §4 "Absorbed messages have priority over new
 	// messages to prevent starvation").
-	newQ [][]*message.Message
-	reQ  [][]pendingMsg
+	newQ []fifo[message.Ref]
+	reQ  []fifo[pendingMsg]
 	// Per-node active injection streams, at most one flit/cycle/node.
 	streams [][]stream
 	rrInj   []int
@@ -189,8 +231,11 @@ type Network struct {
 	vcTrack bool
 
 	// buckets is switchTraversal's per-output-port request scratch,
-	// allocated once.
+	// pre-sized to the worst case ((degree+1)·V input lanes) so the
+	// allocation phase never grows it; freeVCs is allocateLane's candidate
+	// scratch, likewise allocated once.
 	buckets [][]xbarReq
+	freeVCs []routing.CandidateVC
 
 	now       int64
 	inFlight  int // worms injected (streaming or in-network) not yet completed
@@ -217,12 +262,16 @@ func New(t topology.Network, f *fault.Set, alg routing.Router, gen traffic.Sourc
 	if p.CreditDelay < 1 {
 		p.CreditDelay = 1
 	}
+	pool := p.Pool
+	if pool == nil {
+		pool = message.NewPool(t.N(), p.NoArena)
+	}
 	n := &Network{
-		t: t, f: f, alg: alg, p: p,
+		t: t, f: f, alg: alg, p: p, pool: pool,
 		routers: make([]*router.Router, t.Nodes()),
 		gen:     gen, col: col, r: r,
-		newQ:    make([][]*message.Message, t.Nodes()),
-		reQ:     make([][]pendingMsg, t.Nodes()),
+		newQ:    make([]fifo[message.Ref], t.Nodes()),
+		reQ:     make([]fifo[pendingMsg], t.Nodes()),
 		streams: make([][]stream, t.Nodes()),
 		rrInj:   make([]int, t.Nodes()),
 		active:  make([]bool, t.Nodes()),
@@ -235,6 +284,9 @@ func New(t topology.Network, f *fault.Set, alg routing.Router, gen traffic.Sourc
 		}
 	}
 	n.buckets = make([][]xbarReq, t.Degree())
+	for i := range n.buckets {
+		n.buckets[i] = make([]xbarReq, 0, (t.Degree()+1)*p.V)
+	}
 	n.buildLinkTable()
 	if p.DenseScan {
 		n.allIDs = make([]topology.NodeID, t.Nodes())
@@ -361,7 +413,7 @@ func (nw *Network) routerBusy(id topology.NodeID) bool {
 	} else if nw.routers[id].Flits > 0 {
 		return true
 	}
-	return len(nw.newQ[id]) > 0 || len(nw.reQ[id]) > 0 || len(nw.streams[id]) > 0
+	return nw.newQ[id].Len() > 0 || nw.reQ[id].Len() > 0 || len(nw.streams[id]) > 0
 }
 
 // Now returns the current cycle.
@@ -370,12 +422,15 @@ func (nw *Network) Now() int64 { return nw.now }
 // InFlight returns the number of injected-but-uncompleted worms.
 func (nw *Network) InFlight() int { return nw.inFlight }
 
+// Pool returns the engine's message pool.
+func (nw *Network) Pool() *message.Pool { return nw.pool }
+
 // Backlog returns the number of messages waiting in source software queues
 // (new + re-injection) plus active injection streams.
 func (nw *Network) Backlog() int {
 	total := 0
 	for id := range nw.newQ {
-		total += len(nw.newQ[id]) + len(nw.reQ[id]) + len(nw.streams[id])
+		total += nw.newQ[id].Len() + nw.reQ[id].Len() + len(nw.streams[id])
 	}
 	return total
 }
@@ -389,12 +444,13 @@ func (nw *Network) StopGeneration() { nw.genStopped = true }
 
 // Enqueue places a caller-constructed message on a node's fresh-traffic
 // queue, bypassing the Poisson generator. Used by tracing tools and tests
-// that drive individual messages.
+// that drive individual messages. The message is registered in the engine's
+// pool; its storage stays the caller's (inspectable after delivery).
 func (nw *Network) Enqueue(node topology.NodeID, m *message.Message) {
 	if nw.f.NodeFaulty(node) {
 		panic(fmt.Sprintf("network: enqueue at faulty node %d", node))
 	}
-	nw.newQ[node] = append(nw.newQ[node], m)
+	nw.newQ[node].Push(nw.pool.Adopt(m))
 	nw.markActive(node)
 }
 
@@ -425,7 +481,9 @@ func (nw *Network) Step() {
 	nw.endCycle()
 }
 
-// pollTraffic pulls newly generated messages into source queues.
+// pollTraffic pulls newly generated messages into source queues. Messages
+// from a pool-aware source are already registered (Adopt is then a no-op
+// returning the existing Ref); heap-allocating sources get registered here.
 func (nw *Network) pollTraffic() {
 	if nw.genStopped || nw.gen == nil {
 		return
@@ -433,7 +491,7 @@ func (nw *Network) pollTraffic() {
 	for _, m := range nw.gen.Poll(nw.now) {
 		nw.col.Generated(m)
 		nw.generated++
-		nw.newQ[m.Src] = append(nw.newQ[m.Src], m)
+		nw.newQ[m.Src].Push(nw.pool.Adopt(m))
 		nw.markActive(m.Src)
 	}
 }
@@ -444,13 +502,12 @@ func (nw *Network) pollTraffic() {
 // ablation nests over all Ports()×V. Both orders are port-major/VC-minor,
 // so rng draws are identical.
 func (nw *Network) routeAndAllocate() {
-	var free []routing.CandidateVC // scratch, reused across VCs
 	for _, node := range nw.work {
 		rt := nw.routers[node]
 		if nw.vcTrack {
 			for _, lane := range rt.Lanes() {
 				port, vc := rt.LanePortVC(lane)
-				free = nw.allocateLane(node, rt, port, vc, free)
+				nw.allocateLane(node, rt, port, vc)
 			}
 			continue
 		}
@@ -459,28 +516,28 @@ func (nw *Network) routeAndAllocate() {
 		}
 		for port := range rt.In {
 			for vc := range rt.In[port] {
-				free = nw.allocateLane(node, rt, port, vc, free)
+				nw.allocateLane(node, rt, port, vc)
 			}
 		}
 	}
 }
 
 // allocateLane takes the routing decision for input lane (port, vc) of
-// node, if its front flit is a head that is ready and unrouted. free is
-// the caller's candidate scratch, returned for reuse.
-func (nw *Network) allocateLane(node topology.NodeID, rt *router.Router, port, vc int, free []routing.CandidateVC) []routing.CandidateVC {
+// node, if its front flit is a head that is ready and unrouted. The
+// candidate scratch nw.freeVCs is reused across calls.
+func (nw *Network) allocateLane(node topology.NodeID, rt *router.Router, port, vc int) {
 	ivc := &rt.In[port][vc]
 	if ivc.HasRoute {
-		return free
+		return
 	}
 	front, ok := ivc.Buf.Front()
 	if !ok || !front.IsHead() {
-		return free
+		return
 	}
 	if nw.now < ivc.ReadyAt {
-		return free
+		return
 	}
-	m := front.Msg
+	m := nw.pool.At(front.Ref())
 	dec := nw.alg.Route(node, m)
 	switch dec.Outcome {
 	case routing.Deliver:
@@ -498,7 +555,7 @@ func (nw *Network) allocateLane(node topology.NodeID, rt *router.Router, port, v
 		}
 		ivc.HasRoute, ivc.ToEject = true, true
 	case routing.Progress:
-		free = free[:0]
+		free := nw.freeVCs[:0]
 		for _, c := range dec.Preferred {
 			if !rt.Out[c.Port][c.VC].Busy {
 				free = append(free, c)
@@ -511,15 +568,15 @@ func (nw *Network) allocateLane(node topology.NodeID, rt *router.Router, port, v
 				}
 			}
 		}
+		nw.freeVCs = free
 		if len(free) == 0 {
-			return free // all candidate VCs owned; retry next cycle
+			return // all candidate VCs owned; retry next cycle
 		}
 		pick := free[nw.r.Intn(len(free))]
 		rt.Out[pick.Port][pick.VC].Busy = true
 		ivc.HasRoute, ivc.ToEject = true, false
 		ivc.OutPort, ivc.OutVC = pick.Port, pick.VC
 	}
-	return free
 }
 
 // switchTraversal performs switch allocation and link/ejection traversal.
@@ -605,11 +662,12 @@ func (nw *Network) moveNetwork(node topology.NodeID, rt *router.Router, port, vc
 	ovc := &rt.Out[ivc.OutPort][ivc.OutVC]
 	ovc.Credits--
 	lk := nw.linkFor(node, ivc.OutPort)
-	if f.IsHead() && lk.wraps {
-		f.Msg.Crossed[ivc.OutPort.Dim()] = true
-	}
 	if f.IsHead() {
-		nw.trace(trace.Hop, f.Msg.ID, lk.dst)
+		m := nw.pool.At(f.Ref())
+		if lk.wraps {
+			m.Crossed[ivc.OutPort.Dim()] = true
+		}
+		nw.trace(trace.Hop, m.ID, lk.dst)
 	}
 	nw.stageArrival(arrivalEvent{
 		dueAt: nw.now + lk.lat - 1,
@@ -635,7 +693,9 @@ func (nw *Network) refreshReady(ivc *router.InVC) {
 }
 
 // moveEject drains the front flit of input (port, vc) into the local PE /
-// messaging layer and finalises the worm when its tail arrives.
+// messaging layer and finalises the worm when its tail arrives. A
+// delivered or dropped worm's message returns to the pool here — the end
+// of the Ref lifetime.
 func (nw *Network) moveEject(node topology.NodeID, rt *router.Router, port, vc int) {
 	ivc := &rt.In[port][vc]
 	f := rt.Pop(port, vc)
@@ -645,7 +705,8 @@ func (nw *Network) moveEject(node topology.NodeID, rt *router.Router, port, vc i
 	}
 	ivc.HasRoute = false
 	nw.refreshReady(ivc)
-	m := f.Msg
+	ref := f.Ref()
+	m := nw.pool.At(ref)
 	reason := m.Pending
 	m.Pending = message.StopNone
 	nw.inFlight--
@@ -653,21 +714,23 @@ func (nw *Network) moveEject(node topology.NodeID, rt *router.Router, port, vc i
 	case message.StopDeliver:
 		nw.trace(trace.Deliver, m.ID, node)
 		nw.col.Delivered(m, nw.now)
+		nw.pool.Free(ref)
 	case message.StopVia:
 		nw.trace(trace.ViaStop, m.ID, node)
 		nw.col.Stop(m, metrics.StopVia)
 		m.PopViasAt(node)
 		m.ResetForReinjection()
-		nw.requeue(node, m)
+		nw.requeue(node, ref)
 	case message.StopFault:
 		nw.trace(trace.FaultStop, m.ID, node)
 		nw.col.Stop(m, metrics.StopFault)
 		m.ResetForReinjection()
-		nw.requeue(node, m)
+		nw.requeue(node, ref)
 	case message.StopDrop:
 		nw.trace(trace.Drop, m.ID, node)
 		nw.col.Dropped(m)
 		nw.dropped++
+		nw.pool.Free(ref)
 	default:
 		panic(fmt.Sprintf("network: worm ejected with no stop reason: %v", m))
 	}
@@ -675,8 +738,8 @@ func (nw *Network) moveEject(node topology.NodeID, rt *router.Router, port, vc i
 
 // requeue places an absorbed message on the node's priority re-injection
 // queue, eligible after the software overhead Δ.
-func (nw *Network) requeue(node topology.NodeID, m *message.Message) {
-	nw.reQ[node] = append(nw.reQ[node], pendingMsg{m: m, eligibleAt: nw.now + nw.p.Delta})
+func (nw *Network) requeue(node topology.NodeID, ref message.Ref) {
+	nw.reQ[node].Push(pendingMsg{ref: ref, eligibleAt: nw.now + nw.p.Delta})
 }
 
 // returnCredit stages a credit for the upstream output VC feeding input
@@ -720,12 +783,13 @@ func (nw *Network) inject() {
 			}
 			// Injection is a local wire: always one cycle.
 			nw.injArrivals = append(nw.injArrivals, arrivalEvent{
-				dueAt: nw.now, node: node, port: injPort, vc: s.vc, flit: s.m.Flit(s.seq),
+				dueAt: nw.now, node: node, port: injPort, vc: s.vc,
+				flit: message.MakeFlit(s.ref, s.seq, s.len),
 			})
 			// Reserve the slot so a same-cycle arrival cannot overflow.
 			s.seq++
 			nw.rrInj[node] = (start + i + 1) % n
-			if s.seq == s.m.Len {
+			if s.seq == s.len {
 				// Stream complete; remove, preserving order.
 				idx := (start + i) % n
 				nw.streams[node] = append(ss[:idx], ss[idx+1:]...)
@@ -743,8 +807,8 @@ func (nw *Network) startStreams(node topology.NodeID) {
 	rt := nw.routers[node]
 	injPort := rt.InjectionPort()
 	for {
-		m := nw.peekQueue(node)
-		if m == nil {
+		ref, ok := nw.peekQueue(node)
+		if !ok {
 			return
 		}
 		// Find a free injection VC: empty buffer and no stream using it.
@@ -769,15 +833,17 @@ func (nw *Network) startStreams(node topology.NodeID) {
 		if vc < 0 {
 			return
 		}
+		m := nw.pool.At(ref)
 		if !nw.prepareForInjection(node, m) {
 			// Undeliverable: drop it and keep scanning the queue.
 			nw.popQueue(node)
 			nw.col.Dropped(m)
 			nw.dropped++
+			nw.pool.Free(ref)
 			continue
 		}
 		nw.popQueue(node)
-		nw.streams[node] = append(nw.streams[node], stream{m: m, vc: vc})
+		nw.streams[node] = append(nw.streams[node], stream{ref: ref, len: m.Len, vc: vc})
 		nw.inFlight++
 		nw.trace(trace.Inject, m.ID, node)
 	}
@@ -790,45 +856,46 @@ func (nw *Network) trace(kind trace.Kind, msg uint64, node topology.NodeID) {
 	}
 }
 
-// peekQueue returns the next eligible message at node without removing it.
-// Re-injections normally have absolute priority; with NoReinjectPriority
-// set, fresh traffic is served first (the starvation ablation).
-func (nw *Network) peekQueue(node topology.NodeID) *message.Message {
-	reReady := len(nw.reQ[node]) > 0 && nw.reQ[node][0].eligibleAt <= nw.now
+// peekQueue returns the next eligible message's Ref at node without
+// removing it. Re-injections normally have absolute priority; with
+// NoReinjectPriority set, fresh traffic is served first (the starvation
+// ablation).
+func (nw *Network) peekQueue(node topology.NodeID) (message.Ref, bool) {
+	reReady := nw.reQ[node].Len() > 0 && nw.reQ[node].Front().eligibleAt <= nw.now
 	if nw.p.NoReinjectPriority {
-		if q := nw.newQ[node]; len(q) > 0 {
-			return q[0]
+		if nw.newQ[node].Len() > 0 {
+			return nw.newQ[node].Front(), true
 		}
 		if reReady {
-			return nw.reQ[node][0].m
+			return nw.reQ[node].Front().ref, true
 		}
-		return nil
+		return message.NilRef, false
 	}
 	if reReady {
-		return nw.reQ[node][0].m
+		return nw.reQ[node].Front().ref, true
 	}
-	if q := nw.newQ[node]; len(q) > 0 {
-		return q[0]
+	if nw.newQ[node].Len() > 0 {
+		return nw.newQ[node].Front(), true
 	}
-	return nil
+	return message.NilRef, false
 }
 
 // popQueue removes the message peekQueue returned.
 func (nw *Network) popQueue(node topology.NodeID) {
-	reReady := len(nw.reQ[node]) > 0 && nw.reQ[node][0].eligibleAt <= nw.now
+	reReady := nw.reQ[node].Len() > 0 && nw.reQ[node].Front().eligibleAt <= nw.now
 	if nw.p.NoReinjectPriority {
-		if q := nw.newQ[node]; len(q) > 0 {
-			nw.newQ[node] = q[1:]
+		if nw.newQ[node].Len() > 0 {
+			nw.newQ[node].Pop()
 			return
 		}
-		nw.reQ[node] = nw.reQ[node][1:]
+		nw.reQ[node].Pop()
 		return
 	}
 	if reReady {
-		nw.reQ[node] = nw.reQ[node][1:]
+		nw.reQ[node].Pop()
 		return
 	}
-	nw.newQ[node] = nw.newQ[node][1:]
+	nw.newQ[node].Pop()
 }
 
 // prepareForInjection runs the injection-time fault check: if the message's

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/fault"
+	"repro/internal/message"
 	"repro/internal/metrics"
 	"repro/internal/rng"
 	"repro/internal/routing"
@@ -39,20 +40,26 @@ func runTraced(t *testing.T, net topology.Network, algName string, nf int, tweak
 	if err != nil {
 		t.Fatal(err)
 	}
-	gen, err := traffic.NewSource("poisson", traffic.Env{
-		T: net, F: fs, Sources: fs.HealthyNodes(),
-		Lambda: 0.004, MsgLen: 16, Mode: alg.BaseMode(),
-		Pattern: pattern, R: r.Split(1),
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
 	rec := trace.NewRecorder()
 	col := metrics.NewCollector(0)
 	p := DefaultParams(4)
 	p.Tracer = rec
 	if tweak != nil {
 		tweak(&p)
+	}
+	// The params tweak settles NoArena before the shared pool is built, so
+	// arena-mode runs genuinely exercise recycling end-to-end (source
+	// allocation through delivery) rather than Adopt-registering foreign
+	// heap messages.
+	pool := message.NewPool(net.N(), p.NoArena)
+	p.Pool = pool
+	gen, err := traffic.NewSource("poisson", traffic.Env{
+		T: net, F: fs, Sources: fs.HealthyNodes(),
+		Lambda: 0.004, MsgLen: 16, Mode: alg.BaseMode(),
+		Pattern: pattern, R: r.Split(1), Pool: pool,
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 	nw := New(net, fs, alg, gen, col, p, r.Split(2))
 	for nw.Now() < 4000 {

@@ -77,56 +77,59 @@ func TestVCActiveSetDrainsLanes(t *testing.T) {
 	}
 }
 
-// TestSchedulerAblationMatrix locks the full knob cube: every combination
-// of DenseScan × DenseVCScan × NoLinkCache must produce the same event
-// trace and results as the all-knobs-off default, on one seed, for both a
-// faulted mesh and a torus carrying a non-uniform per-link latency overlay
-// (the two configurations that exercise every conditional the knobs gate:
-// mesh edges, absorption/re-injection, and due-ordered arrival staging).
-func TestSchedulerAblationMatrix(t *testing.T) {
-	latmapTorus := func() topology.Network {
-		base := topology.New(4, 2)
-		var lines []byte
-		for _, ch := range topology.ChannelsOf(base) {
-			// Latencies 1..3, varied per channel, to force the
-			// non-uniform (sorted-insertion) staging path.
-			lat := 1 + (int(ch.Src)*7+int(ch.Port))%3
-			lines = fmt.Appendf(lines, "%d,%d,%d\n", ch.Src, int(ch.Port), lat)
-		}
-		file := filepath.Join(t.TempDir(), "lat.csv")
-		if err := os.WriteFile(file, lines, 0o644); err != nil {
-			t.Fatal(err)
-		}
-		net, err := topology.NewNetwork("torus:k=4,n=2,latmap=" + file)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return net
+// latmapTorus builds a 4-ary 2-cube carrying a non-uniform per-link latency
+// overlay (latencies 1..3, varied per channel), forcing the engine's
+// sorted-insertion arrival staging path. Shared by the ablation-matrix and
+// arena-equivalence tests.
+func latmapTorus(t *testing.T) topology.Network {
+	t.Helper()
+	base := topology.New(4, 2)
+	var lines []byte
+	for _, ch := range topology.ChannelsOf(base) {
+		lat := 1 + (int(ch.Src)*7+int(ch.Port))%3
+		lines = fmt.Appendf(lines, "%d,%d,%d\n", ch.Src, int(ch.Port), lat)
 	}
+	file := filepath.Join(t.TempDir(), "lat.csv")
+	if err := os.WriteFile(file, lines, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	net, err := topology.NewNetwork("torus:k=4,n=2,latmap=" + file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// TestSchedulerAblationMatrix locks the full knob cube: every combination
+// of DenseScan × DenseVCScan × NoLinkCache × NoArena must produce the same
+// event trace and results as the all-knobs-off default, on one seed, for
+// both a faulted mesh and a torus carrying a non-uniform per-link latency
+// overlay (the two configurations that exercise every conditional the
+// knobs gate: mesh edges, absorption/re-injection, due-ordered arrival
+// staging, and message recycling on delivery and drop).
+func TestSchedulerAblationMatrix(t *testing.T) {
 	for _, env := range []struct {
 		name string
-		net  func() topology.Network
+		net  func(t *testing.T) topology.Network
 		alg  string
 		nf   int
 	}{
-		{"faulted-mesh", func() topology.Network { return topology.NewMesh(8, 2) }, "det", 4},
+		{"faulted-mesh", func(*testing.T) topology.Network { return topology.NewMesh(8, 2) }, "det", 4},
 		{"latmap-torus", latmapTorus, "det", 0},
 	} {
 		t.Run(env.name, func(t *testing.T) {
-			evBase, resBase := runTraced(t, env.net(), env.alg, env.nf, nil)
-			for _, dense := range []bool{false, true} {
-				for _, denseVC := range []bool{false, true} {
-					for _, noCache := range []bool{false, true} {
-						if !dense && !denseVC && !noCache {
-							continue // the baseline itself
-						}
-						name := fmt.Sprintf("dense=%v,denseVC=%v,noCache=%v", dense, denseVC, noCache)
-						ev, res := runTraced(t, env.net(), env.alg, env.nf, func(p *Params) {
-							p.DenseScan, p.DenseVCScan, p.NoLinkCache = dense, denseVC, noCache
-						})
-						assertSameRun(t, evBase, ev, resBase, res, name)
-					}
-				}
+			evBase, resBase := runTraced(t, env.net(t), env.alg, env.nf, nil)
+			for knobs := 1; knobs < 16; knobs++ { // 0 is the baseline itself
+				dense := knobs&1 != 0
+				denseVC := knobs&2 != 0
+				noCache := knobs&4 != 0
+				noArena := knobs&8 != 0
+				name := fmt.Sprintf("dense=%v,denseVC=%v,noCache=%v,noArena=%v",
+					dense, denseVC, noCache, noArena)
+				ev, res := runTraced(t, env.net(t), env.alg, env.nf, func(p *Params) {
+					p.DenseScan, p.DenseVCScan, p.NoLinkCache, p.NoArena = dense, denseVC, noCache, noArena
+				})
+				assertSameRun(t, evBase, ev, resBase, res, name)
 			}
 		})
 	}

@@ -7,9 +7,15 @@ import (
 	"repro/internal/message"
 )
 
+// poolMsg builds a pool-registered message of the given flit length (flits
+// carry pool Refs, so a bare message.New cannot materialise them).
+func poolMsg(length int) *message.Message {
+	return message.NewPool(2, false).New(1, 0, 1, length, message.Deterministic, 0)
+}
+
 func TestFlitQueueFIFO(t *testing.T) {
 	q := NewFlitQueue(4)
-	m := message.New(1, 0, 1, 4, 2, message.Deterministic, 0)
+	m := poolMsg(4)
 	for i := 0; i < 4; i++ {
 		q.Push(m.Flit(i))
 	}
@@ -18,11 +24,11 @@ func TestFlitQueueFIFO(t *testing.T) {
 	}
 	for i := 0; i < 4; i++ {
 		f, ok := q.Front()
-		if !ok || f.Seq != i {
-			t.Fatalf("front seq = %d, want %d", f.Seq, i)
+		if !ok || f.Seq() != i {
+			t.Fatalf("front seq = %d, want %d", f.Seq(), i)
 		}
-		if got := q.Pop(); got.Seq != i {
-			t.Fatalf("pop seq = %d, want %d", got.Seq, i)
+		if got := q.Pop(); got.Seq() != i {
+			t.Fatalf("pop seq = %d, want %d", got.Seq(), i)
 		}
 	}
 	if _, ok := q.Front(); ok {
@@ -32,7 +38,7 @@ func TestFlitQueueFIFO(t *testing.T) {
 
 func TestFlitQueueWrapsRing(t *testing.T) {
 	q := NewFlitQueue(2)
-	m := message.New(1, 0, 1, 8, 2, message.Deterministic, 0)
+	m := poolMsg(8)
 	// Interleave push/pop so head wraps around the ring repeatedly.
 	seq := 0
 	q.Push(m.Flit(seq))
@@ -41,15 +47,15 @@ func TestFlitQueueWrapsRing(t *testing.T) {
 		q.Push(m.Flit(seq % 8))
 		seq++
 		want := (seq - 2) % 8
-		if got := q.Pop(); got.Seq != want {
-			t.Fatalf("iteration %d: pop seq %d, want %d", i, got.Seq, want)
+		if got := q.Pop(); got.Seq() != want {
+			t.Fatalf("iteration %d: pop seq %d, want %d", i, got.Seq(), want)
 		}
 	}
 }
 
 func TestFlitQueueOverflowPanics(t *testing.T) {
 	q := NewFlitQueue(1)
-	m := message.New(1, 0, 1, 4, 2, message.Deterministic, 0)
+	m := poolMsg(4)
 	q.Push(m.Flit(0))
 	defer func() {
 		if recover() == nil {
@@ -111,7 +117,7 @@ func TestRouterLayout(t *testing.T) {
 
 func TestActivityCounter(t *testing.T) {
 	r := New(0, 2, 4, 2)
-	m := message.New(1, 0, 1, 4, 2, message.Deterministic, 0)
+	m := poolMsg(4)
 	if r.Flits != 0 {
 		t.Fatal("new router not idle")
 	}
@@ -129,7 +135,7 @@ func TestActivityCounter(t *testing.T) {
 func TestLaneWorklistOrderAndRetire(t *testing.T) {
 	r := New(0, 2, 4, 2) // degree 4 + injection port, V=4
 	r.EnableLaneTracking()
-	m := message.New(1, 0, 1, 8, 2, message.Deterministic, 0)
+	m := poolMsg(8)
 
 	// Mark lanes out of order, with a duplicate push into one of them.
 	r.Push(2, 3, m.Flit(0))
@@ -185,7 +191,7 @@ func TestLaneRetireCountsPendingMarks(t *testing.T) {
 	// engine would retire a router holding fresh flits.
 	r := New(0, 2, 4, 2)
 	r.EnableLaneTracking()
-	m := message.New(1, 0, 1, 8, 2, message.Deterministic, 0)
+	m := poolMsg(8)
 	r.Push(1, 2, m.Flit(0))
 	if n := r.RetireLanes(); n != 1 {
 		t.Fatalf("retire count with only a pending mark = %d, want 1", n)
@@ -194,7 +200,7 @@ func TestLaneRetireCountsPendingMarks(t *testing.T) {
 
 func TestLaneTrackingOffByDefault(t *testing.T) {
 	r := New(0, 2, 4, 2)
-	m := message.New(1, 0, 1, 8, 2, message.Deterministic, 0)
+	m := poolMsg(8)
 	r.Push(0, 0, m.Flit(0))
 	if got := r.LaneCount(); got != 0 {
 		t.Fatalf("untracked router recorded %d lanes", got)
@@ -207,7 +213,7 @@ func TestFlitQueuePropertyConservation(t *testing.T) {
 	if err := quick.Check(func(ops []bool, capRaw uint8) bool {
 		capacity := 1 + int(capRaw)%8
 		q := NewFlitQueue(capacity)
-		m := message.New(1, 0, 1, 1024, 2, message.Deterministic, 0)
+		m := poolMsg(1024)
 		pushed, popped := 0, 0
 		for _, isPush := range ops {
 			if isPush {
@@ -217,7 +223,7 @@ func TestFlitQueuePropertyConservation(t *testing.T) {
 				}
 			} else if q.Len() > 0 {
 				f := q.Pop()
-				if f.Seq != popped%1024 {
+				if f.Seq() != popped%1024 {
 					return false
 				}
 				popped++

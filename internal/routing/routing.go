@@ -90,8 +90,13 @@ type Decision struct {
 
 // Algorithm is a configured routing function bound to one topology, fault
 // configuration and virtual-channel count. It is stateless with respect to
-// messages (all per-message state lives in the header), hence safe for
-// concurrent use by a single-threaded engine or by tests.
+// messages (all per-message state lives in the header), but Route returns
+// Decisions whose candidate slices alias per-Algorithm scratch storage
+// (reused call to call so the hot path never allocates): a Decision is
+// valid only until the next Route call on the same Algorithm, and one
+// Algorithm must not be shared across concurrently running engines. The
+// single-threaded engine and the test suite both consume each Decision
+// before deciding again.
 type Algorithm struct {
 	t        topology.Network
 	f        *fault.Set
@@ -103,6 +108,9 @@ type Algorithm struct {
 	// (mesh) every VC collapses into a single class.
 	wraps   bool
 	planner *Planner
+	// pref/fall back the Preferred/Fallback slices of the Decision under
+	// construction; see the aliasing contract above.
+	pref, fall []CandidateVC
 }
 
 // NewDeterministic returns the SW-Based-nD algorithm over deterministic
@@ -226,9 +234,9 @@ func (a *Algorithm) datelineClass(cur topology.NodeID, m *message.Message, dim i
 
 // detNextMove returns the e-cube move (first unfinished dimension in
 // increasing order) from cur towards target, honouring per-dimension
-// direction overrides from the rerouting tables. ok is false when cur equals
-// target.
-func detNextMove(t topology.Network, cur, target topology.NodeID, override []topology.Dir) (dim int, dir topology.Dir, ok bool) {
+// direction overrides from the rerouting tables (nil means no overrides).
+// ok is false when cur equals target.
+func detNextMove(t topology.Network, cur, target topology.NodeID, override *[message.MaxDims]topology.Dir) (dim int, dir topology.Dir, ok bool) {
 	for d := 0; d < t.N(); d++ {
 		c, tc := t.Coord(cur, d), t.Coord(target, d)
 		if c == tc {
@@ -260,7 +268,7 @@ func (a *Algorithm) Route(cur topology.NodeID, m *message.Message) Decision {
 }
 
 func (a *Algorithm) routeDeterministic(cur topology.NodeID, m *message.Message) Decision {
-	dim, dir, ok := detNextMove(a.t, cur, m.Target(), m.DirOverride)
+	dim, dir, ok := detNextMove(a.t, cur, m.Target(), &m.DirOverride)
 	if !ok {
 		// Defensive: Target checks above make this unreachable.
 		return Decision{Outcome: ViaArrived}
@@ -271,17 +279,18 @@ func (a *Algorithm) routeDeterministic(cur topology.NodeID, m *message.Message) 
 	}
 	class := a.datelineClass(cur, m, dim, dir)
 	lo, hi := a.detVCRange(class)
-	d := Decision{Outcome: Progress, Preferred: make([]CandidateVC, 0, hi-lo)}
+	a.pref = a.pref[:0]
 	for vc := lo; vc < hi; vc++ {
-		d.Preferred = append(d.Preferred, CandidateVC{Port: port, VC: vc})
+		a.pref = append(a.pref, CandidateVC{Port: port, VC: vc})
 	}
-	return d
+	return Decision{Outcome: Progress, Preferred: a.pref}
 }
 
 func (a *Algorithm) routeAdaptive(cur topology.NodeID, m *message.Message) Decision {
 	target := m.Target()
 	var dec Decision
 	dec.Outcome = Progress
+	dec.Preferred = a.pref[:0]
 	anyProfitable := false
 	// Adaptive channels on every healthy minimal-progress port.
 	for d := 0; d < a.t.N(); d++ {
@@ -319,7 +328,8 @@ func (a *Algorithm) routeAdaptive(cur topology.NodeID, m *message.Message) Decis
 			if a.datelineClass(cur, m, edim, edir) == 1 {
 				vc = escapeVC1
 			}
-			dec.Fallback = append(dec.Fallback, CandidateVC{Port: eport, VC: vc})
+			a.fall = append(a.fall[:0], CandidateVC{Port: eport, VC: vc})
+			dec.Fallback = a.fall
 			anyProfitable = true
 		}
 		if !anyProfitable {
@@ -328,6 +338,7 @@ func (a *Algorithm) routeAdaptive(cur topology.NodeID, m *message.Message) Decis
 			return Decision{Outcome: AbsorbFault, BlockedDim: edim, BlockedDir: edir}
 		}
 	}
+	a.pref = dec.Preferred
 	return dec
 }
 

@@ -204,7 +204,7 @@ func (p *Planner) orthoDetour(cur topology.NodeID, m *message.Message, d int, s 
 		// they will be at re-injection.
 		m.DirOverride[d] = s
 		m.Reversed[d] = true
-		path := p.segmentPath(cur, via, m.DirOverride)
+		path := p.segmentPath(cur, via, &m.DirOverride)
 		if path == nil || !p.f.PathFaultFree(path, true) {
 			m.DirOverride[d] = savedDir
 			m.Reversed[d] = savedRev
@@ -219,7 +219,7 @@ func (p *Planner) orthoDetour(cur topology.NodeID, m *message.Message, d int, s 
 // segmentPath simulates the deterministic router from 'from' to 'to' under
 // the given direction overrides and returns the node sequence, or nil if the
 // walk fails to converge (defensive; cannot happen with consistent state).
-func (p *Planner) segmentPath(from, to topology.NodeID, override []topology.Dir) []topology.NodeID {
+func (p *Planner) segmentPath(from, to topology.NodeID, override *[message.MaxDims]topology.Dir) []topology.NodeID {
 	path := []topology.NodeID{from}
 	cur := from
 	limit := p.t.N()*p.t.K() + 1

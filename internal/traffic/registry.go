@@ -20,7 +20,8 @@ type Source interface {
 	Name() string
 	// Poll returns the messages generated at cycle now (creation times
 	// <= now not returned before). Implementations must return them in a
-	// deterministic order for a fixed rng seed.
+	// deterministic order for a fixed rng seed. The returned slice is only
+	// valid until the next Poll call — implementations may reuse it.
 	Poll(now int64) []*message.Message
 }
 
@@ -44,6 +45,12 @@ type Env struct {
 	Pattern Pattern
 	// R is the rng stream owned by the source.
 	R *rng.Stream
+	// Pool, when non-nil, is the engine's message pool: generating sources
+	// allocate through it so delivered messages recycle (see
+	// network.Params.Pool — the two must be the same pool). Nil keeps
+	// allocations on the heap; the engine then Adopt-registers each polled
+	// message.
+	Pool *message.Pool
 }
 
 // check validates the parts of the environment every generating source

@@ -1,7 +1,6 @@
 package traffic
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"os"
@@ -27,11 +26,13 @@ type schedSource struct {
 	mode     message.Mode
 	pattern  Pattern
 	r        *rng.Stream
+	pool     *message.Pool
 	heap     arrivalHeap
 	next     func(idx int, at int64) int64
 	meanRate float64
 	nextID   uint64
 	created  uint64
+	out      []*message.Message // Poll's reused result buffer
 }
 
 // newSched builds the chassis after validating the env.
@@ -47,6 +48,7 @@ func newSched(name string, env Env) (*schedSource, error) {
 		mode:    env.Mode,
 		pattern: env.Pattern,
 		r:       env.R,
+		pool:    env.Pool,
 	}, nil
 }
 
@@ -60,7 +62,7 @@ func (s *schedSource) initHeap(first func(idx int) int64) {
 		}
 		s.heap = append(s.heap, arrival{at: at, node: src, idx: i})
 	}
-	heap.Init(&s.heap)
+	s.heap.init()
 }
 
 // Name implements Source.
@@ -74,25 +76,26 @@ func (s *schedSource) Created() uint64 { return s.created }
 func (s *schedSource) MeanRate() float64 { return s.meanRate }
 
 // Poll implements Source; it mirrors Generator.Poll with the pluggable
-// next-arrival sampler.
+// next-arrival sampler. Messages come from the configured pool (heap when
+// nil); the returned slice is reused across calls.
 func (s *schedSource) Poll(now int64) []*message.Message {
-	var out []*message.Message
+	s.out = s.out[:0]
 	for {
 		top, ok := s.heap.Peek()
 		if !ok || top.at > now {
-			return out
+			return s.out
 		}
-		heap.Pop(&s.heap)
+		s.heap.pop()
 		dst := s.pattern.Pick(top.node, s.r)
-		m := message.New(s.nextID, top.node, dst, s.msgLen, s.t.N(), s.mode, now)
+		m := message.NewIn(s.pool, s.nextID, top.node, dst, s.msgLen, s.t.N(), s.mode, now)
 		s.nextID++
 		s.created++
-		out = append(out, m)
+		s.out = append(s.out, m)
 		at := s.next(top.idx, top.at)
 		if at <= top.at {
 			at = top.at + 1
 		}
-		heap.Push(&s.heap, arrival{at: at, node: top.node, idx: top.idx})
+		s.heap.push(arrival{at: at, node: top.node, idx: top.idx})
 	}
 }
 

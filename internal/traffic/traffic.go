@@ -165,6 +165,70 @@ func (h arrivalHeap) Peek() (arrival, bool) {
 	return h[0], true
 }
 
+// The unexported push/pop/init operations below are the engine-facing heap
+// interface: container/heap's algorithms restated directly over the slice,
+// because heap.Push/heap.Pop box every arrival through an interface value —
+// one allocation per scheduled event, which is exactly the hot path the
+// zero-allocation Step contract forbids. They reproduce container/heap's
+// sift order operation for operation, so a source switching from heap.* to
+// these emits bit-identical arrival sequences; the legacy Generator stays
+// on container/heap as the reference, and the network package's
+// TestRegistrySourceMatchesLegacyGenerator holds the two equal.
+
+// push inserts an arrival, mirroring heap.Push.
+func (h *arrivalHeap) push(a arrival) {
+	*h = append(*h, a)
+	h.up(len(*h) - 1)
+}
+
+// pop removes and returns the earliest arrival, mirroring heap.Pop.
+func (h *arrivalHeap) pop() arrival {
+	old := *h
+	n := len(old) - 1
+	old.Swap(0, n)
+	old[:n].down(0)
+	a := old[n]
+	*h = old[:n]
+	return a
+}
+
+// init establishes the heap invariant, mirroring heap.Init.
+func (h arrivalHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+}
+
+func (h arrivalHeap) up(j int) {
+	for j > 0 {
+		i := (j - 1) / 2 // parent
+		if !h.Less(j, i) {
+			break
+		}
+		h.Swap(i, j)
+		j = i
+	}
+}
+
+func (h arrivalHeap) down(i int) {
+	n := len(h)
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && h.Less(j2, j1) {
+			j = j2
+		}
+		if !h.Less(j, i) {
+			break
+		}
+		h.Swap(i, j)
+		i = j
+	}
+}
+
 // Generator produces messages: each healthy node is an independent Poisson
 // source of rate Lambda messages/cycle. Arrival times are pre-scheduled per
 // node on an event heap, so per-cycle cost is proportional to the number of
