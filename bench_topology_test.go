@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"fmt"
 	"os"
 	"testing"
 	"time"
@@ -47,6 +48,25 @@ func BenchmarkStepLargeTorus(b *testing.B) {
 	c.Topology = "torus:k=32,n=3"
 	c.V = 4
 	stepEngine(b, c, 2000)
+}
+
+// BenchmarkStepLargeTorusParallel steps the same 32,768-router scale point
+// under the phase-barriered worker pool at 1, 2, 4 and 8 domains. Results
+// are bit-identical at every width (TestParallelMatchesSerial); only
+// wall-clock differs, so the sub-benchmark ratios are the engine's
+// multi-core scaling curve. Meaningful speedups need as many idle cores
+// as workers — on fewer cores the extra widths measure barrier+mailbox
+// overhead, which is itself worth tracking.
+func BenchmarkStepLargeTorusParallel(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			c := core.DefaultConfig(32, 3, 0.0005)
+			c.Topology = "torus:k=32,n=3"
+			c.V = 4
+			c.Workers = w
+			stepEngine(b, c, 2000)
+		})
+	}
 }
 
 // TestLinkCacheOverheadGuard is the A/B regression gate on the torus hot

@@ -6,8 +6,15 @@
 //	go test -run xxx -bench 'BenchmarkStep|BenchmarkSourcePoll' \
 //	    -benchtime 5000x -benchmem -count 5 . > bench.txt
 //	benchdiff -in bench.txt -out BENCH_$(git rev-parse --short HEAD).json \
-//	    -baseline bench_baseline.json -gate BenchmarkStepTorusLinkCache \
-//	    -max-regress 15 -require-mem
+//	    -baseline bench_baseline.json -policy bench_policy.json
+//
+// The -policy file names the gated benchmarks with per-benchmark
+// thresholds (see Policy); the repo's bench_policy.json is the committed
+// gate set. The flag trio -gate/-max-regress/-require-mem remains as the
+// uniform-threshold shorthand:
+//
+//	benchdiff -in bench.txt -baseline bench_baseline.json \
+//	    -gate BenchmarkStepTorusLinkCache -max-regress 15 -require-mem
 //
 // The snapshot keeps every raw benchmark line (feed `jq -r '.lines[]'`
 // into benchstat for the usual statistics) plus per-benchmark ns/op
@@ -44,15 +51,16 @@ func main() {
 		gate       = flag.String("gate", "", "comma-separated benchmark names whose regression fails the run (default: report only)")
 		maxRegress = flag.Float64("max-regress", 15, "maximum tolerated median ns/op regression, percent")
 		requireMem = flag.Bool("require-mem", false, "fail when a gated benchmark lacks allocs/op samples in either snapshot (instead of skipping the alloc gate)")
+		policyPath = flag.String("policy", "", "JSON gate policy file with per-benchmark thresholds (mutually exclusive with -gate/-max-regress/-require-mem)")
 	)
 	flag.Parse()
-	if err := run(*in, *out, *baseline, *gate, *maxRegress, *requireMem, os.Stdout); err != nil {
+	if err := run(*in, *out, *baseline, *gate, *maxRegress, *requireMem, *policyPath, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, out, baseline, gate string, maxRegress float64, requireMem bool, w io.Writer) error {
+func run(in, out, baseline, gate string, maxRegress float64, requireMem bool, policyPath string, w io.Writer) error {
 	if in == "" {
 		return fmt.Errorf("-in is required (benchmark text output, '-' for stdin)")
 	}
@@ -89,18 +97,103 @@ func run(in, out, baseline, gate string, maxRegress float64, requireMem bool, w 
 	if err != nil {
 		return err
 	}
-	var gates []string
-	for _, g := range strings.Split(gate, ",") {
-		if g = strings.TrimSpace(g); g != "" {
-			gates = append(gates, g)
+	var pol *Policy
+	if policyPath != "" {
+		if gate != "" {
+			return fmt.Errorf("-policy and -gate are mutually exclusive (the policy file names the gated benchmarks)")
+		}
+		if pol, err = ReadPolicy(policyPath); err != nil {
+			return err
+		}
+	} else {
+		pol = &Policy{
+			DefaultMaxRegressPct: maxRegress,
+			RequireMem:           requireMem,
+			Gates:                map[string]*GatePolicy{},
+		}
+		for _, g := range strings.Split(gate, ",") {
+			if g = strings.TrimSpace(g); g != "" {
+				pol.Gates[g] = &GatePolicy{}
+			}
 		}
 	}
-	report, failures := Compare(base, cur, gates, maxRegress, requireMem)
+	report, failures := ComparePolicy(base, cur, pol)
 	fmt.Fprint(w, report)
 	if len(failures) > 0 {
 		return fmt.Errorf("benchmark regression gate failed: %s", strings.Join(failures, "; "))
 	}
 	return nil
+}
+
+// Policy is the gate configuration: which benchmarks fail the run and at
+// what thresholds. The -gate/-max-regress/-require-mem flags build a
+// uniform policy; a -policy JSON file carries per-benchmark entries, which
+// is how a slow scale benchmark gets a looser ns/op tolerance than the
+// tight hot-path gates without loosening those:
+//
+//	{
+//	  "default_max_regress_pct": 15,
+//	  "require_mem": true,
+//	  "gates": {
+//	    "BenchmarkStepTorusLinkCache": {},
+//	    "BenchmarkStepLargeTorus": {"max_regress_pct": 50},
+//	    "BenchmarkStepLargeTorusParallel/workers=4": {"max_regress_pct": 60, "skip_allocs": true}
+//	  }
+//	}
+type Policy struct {
+	// DefaultMaxRegressPct is the median-ns/op regression limit for gated
+	// benchmarks without their own max_regress_pct.
+	DefaultMaxRegressPct float64 `json:"default_max_regress_pct"`
+	// RequireMem fails any gated benchmark lacking allocs/op samples in
+	// either snapshot (instead of skipping its alloc gate with a note).
+	RequireMem bool `json:"require_mem,omitempty"`
+	// Gates names the benchmarks whose regression fails the run.
+	Gates map[string]*GatePolicy `json:"gates"`
+}
+
+// GatePolicy carries one gated benchmark's thresholds. The zero value
+// inherits the policy defaults.
+type GatePolicy struct {
+	// MaxRegressPct overrides Policy.DefaultMaxRegressPct for this
+	// benchmark.
+	MaxRegressPct *float64 `json:"max_regress_pct,omitempty"`
+	// SkipAllocs exempts this benchmark from the zero-tolerance allocs/op
+	// gate — for benchmarks with inherent small per-op allocations (the
+	// parallel engine's per-phase goroutine spawns) where only ns/op is
+	// meaningful.
+	SkipAllocs bool `json:"skip_allocs,omitempty"`
+}
+
+// limitFor resolves the ns/op regression limit for one gated benchmark.
+func (p *Policy) limitFor(name string) float64 {
+	if g := p.Gates[name]; g != nil && g.MaxRegressPct != nil {
+		return *g.MaxRegressPct
+	}
+	return p.DefaultMaxRegressPct
+}
+
+// ReadPolicy loads and validates a gate policy JSON file.
+func ReadPolicy(path string) (*Policy, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var p Policy
+	if err := json.Unmarshal(blob, &p); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if p.DefaultMaxRegressPct <= 0 {
+		return nil, fmt.Errorf("%s: default_max_regress_pct must be > 0", path)
+	}
+	if len(p.Gates) == 0 {
+		return nil, fmt.Errorf("%s: policy gates no benchmarks", path)
+	}
+	for name, g := range p.Gates {
+		if g != nil && g.MaxRegressPct != nil && *g.MaxRegressPct <= 0 {
+			return nil, fmt.Errorf("%s: gate %q: max_regress_pct must be > 0", path, name)
+		}
+	}
+	return &p, nil
 }
 
 // Bench is one benchmark's samples across -count repeats.
@@ -277,17 +370,33 @@ func ReadSnapshot(path string) (*Snapshot, error) {
 	return &s, nil
 }
 
-// Compare renders a delta table over the benchmarks the two snapshots
-// share and evaluates the gate: every gated benchmark must exist in both
-// snapshots, its median ns/op must not regress by more than maxRegress
-// percent, and — when both snapshots carry -benchmem samples — its median
+// Compare evaluates a uniform gate: every benchmark in gates at the same
+// maxRegress/requireMem thresholds. Kept as the simple front door (and the
+// shape the legacy flags build); ComparePolicy is the general form.
+func Compare(base, cur *Snapshot, gates []string, maxRegress float64, requireMem bool) (report string, failures []string) {
+	p := &Policy{
+		DefaultMaxRegressPct: maxRegress,
+		RequireMem:           requireMem,
+		Gates:                map[string]*GatePolicy{},
+	}
+	for _, g := range gates {
+		p.Gates[g] = &GatePolicy{}
+	}
+	return ComparePolicy(base, cur, p)
+}
+
+// ComparePolicy renders a delta table over the benchmarks the two
+// snapshots share and evaluates the gate policy: every gated benchmark
+// must exist in both snapshots, its median ns/op must not regress by more
+// than its resolved limit, and — when both snapshots carry -benchmem
+// samples and the gate doesn't opt out via skip_allocs — its median
 // allocs/op must not exceed the baseline's at all (zero tolerance: the
 // hot path allocates nothing in steady state, so any increase is a leak,
-// not noise). With requireMem, a gated benchmark missing allocs/op
+// not noise). With RequireMem, a gated benchmark missing allocs/op
 // samples on either side is itself a failure; otherwise the alloc gate is
 // skipped for it with a note in the report. Returned failures are empty
 // when the gate holds.
-func Compare(base, cur *Snapshot, gates []string, maxRegress float64, requireMem bool) (report string, failures []string) {
+func ComparePolicy(base, cur *Snapshot, pol *Policy) (report string, failures []string) {
 	var sb strings.Builder
 	names := make([]string, 0, len(cur.Benchmarks))
 	for name := range cur.Benchmarks {
@@ -296,10 +405,6 @@ func Compare(base, cur *Snapshot, gates []string, maxRegress float64, requireMem
 		}
 	}
 	sort.Strings(names)
-	gated := map[string]bool{}
-	for _, g := range gates {
-		gated[g] = true
-	}
 	var notes []string
 	fmt.Fprintf(&sb, "%-55s %14s %14s %8s %12s %12s\n",
 		"benchmark", "base ns/op", "cur ns/op", "delta", "base allocs", "cur allocs")
@@ -307,20 +412,23 @@ func Compare(base, cur *Snapshot, gates []string, maxRegress float64, requireMem
 		b, c := base.Benchmarks[name], cur.Benchmarks[name]
 		delta := 100 * (c.MedianNsPerOp - b.MedianNsPerOp) / b.MedianNsPerOp
 		mark := ""
-		if gated[name] {
+		if g, ok := pol.Gates[name]; ok {
 			mark = "  [gate]"
-			if delta > maxRegress {
+			limit := pol.limitFor(name)
+			if delta > limit {
 				mark = "  [FAIL]"
 				failures = append(failures,
-					fmt.Sprintf("%s regressed %.1f%% (limit %.0f%%)", name, delta, maxRegress))
+					fmt.Sprintf("%s regressed %.1f%% (limit %.0f%%)", name, delta, limit))
 			}
 			switch {
+			case g != nil && g.SkipAllocs:
+				// ns/op-only gate by policy; no alloc comparison.
 			case len(b.AllocsPerOp) == 0 || len(c.AllocsPerOp) == 0:
 				side := "baseline"
 				if len(b.AllocsPerOp) > 0 {
 					side = "current run"
 				}
-				if requireMem {
+				if pol.RequireMem {
 					mark = "  [FAIL]"
 					failures = append(failures,
 						fmt.Sprintf("%s has no allocs/op samples in the %s (run with -benchmem)", name, side))
@@ -339,7 +447,12 @@ func Compare(base, cur *Snapshot, gates []string, maxRegress float64, requireMem
 			name, b.MedianNsPerOp, c.MedianNsPerOp, delta,
 			allocCol(b), allocCol(c), mark)
 	}
-	for _, g := range gates {
+	gateNames := make([]string, 0, len(pol.Gates))
+	for g := range pol.Gates {
+		gateNames = append(gateNames, g)
+	}
+	sort.Strings(gateNames)
+	for _, g := range gateNames {
 		if _, inCur := cur.Benchmarks[g]; !inCur {
 			failures = append(failures, fmt.Sprintf("gated benchmark %s missing from current run", g))
 		} else if _, inBase := base.Benchmarks[g]; !inBase {

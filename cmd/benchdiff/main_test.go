@@ -156,7 +156,7 @@ func TestRunRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	baseJSON := filepath.Join(dir, "baseline.json")
-	if err := run(txt, baseJSON, "", "", 15, false, &strings.Builder{}); err != nil {
+	if err := run(txt, baseJSON, "", "", 15, false, "", &strings.Builder{}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -164,7 +164,7 @@ func TestRunRoundTrip(t *testing.T) {
 	// -require-mem, since the sample run carries -benchmem columns.
 	var out strings.Builder
 	err := run(txt, filepath.Join(dir, "cur.json"), baseJSON,
-		"BenchmarkStepTorusLinkCache", 15, true, &out)
+		"BenchmarkStepTorusLinkCache", 15, true, "", &out)
 	if err != nil {
 		t.Fatalf("self-compare failed: %v\n%s", err, out.String())
 	}
@@ -177,8 +177,118 @@ func TestRunRoundTrip(t *testing.T) {
 	if err := os.WriteFile(slowTxt, []byte(doctored), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	err = run(slowTxt, "", baseJSON, "BenchmarkStepTorusLinkCache", 15, false, &strings.Builder{})
+	err = run(slowTxt, "", baseJSON, "BenchmarkStepTorusLinkCache", 15, false, "", &strings.Builder{})
 	if err == nil || !strings.Contains(err.Error(), "regression gate failed") {
 		t.Fatalf("injected 2x slowdown did not fail the gate: %v", err)
+	}
+}
+
+// policySample gates two benchmarks at different thresholds: the tight
+// default for the hot-path Step gate, a loose per-benchmark override plus
+// an alloc opt-out for the scale benchmark.
+const policySample = `{
+  "default_max_regress_pct": 15,
+  "require_mem": true,
+  "gates": {
+    "BenchmarkStepTorusLinkCache": {},
+    "BenchmarkStepVCActiveSet/mod-k8-v6": {"max_regress_pct": 60, "skip_allocs": true}
+  }
+}`
+
+func writePolicy(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "policy.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestComparePolicyPerBenchThresholds(t *testing.T) {
+	pol, err := ReadPolicy(writePolicy(t, policySample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := snap(t, sampleRun)
+
+	// A 40% slowdown on the loose-gated benchmark passes its 60% limit...
+	slowLoose := snap(t, strings.ReplaceAll(sampleRun, "14209 ns/op", "19900 ns/op"))
+	report, failures := ComparePolicy(base, slowLoose, pol)
+	if len(failures) != 0 {
+		t.Fatalf("40%% on a 60%%-limit gate failed: %v\n%s", failures, report)
+	}
+
+	// ...while the same 40% on the default-limit benchmark fails at 15%
+	// (all repeats doctored so the median moves).
+	doctored := strings.ReplaceAll(sampleRun, "9000 ns/op", "12600 ns/op")
+	doctored = strings.ReplaceAll(doctored, "9200 ns/op", "12880 ns/op")
+	doctored = strings.ReplaceAll(doctored, "8800 ns/op", "12320 ns/op")
+	slowTight := snap(t, doctored)
+	_, failures = ComparePolicy(base, slowTight, pol)
+	if len(failures) != 1 || !strings.Contains(failures[0], "limit 15%") {
+		t.Fatalf("default-limit gate did not fail at its own threshold: %v", failures)
+	}
+}
+
+func TestComparePolicySkipAllocs(t *testing.T) {
+	pol, err := ReadPolicy(writePolicy(t, policySample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := snap(t, sampleRun)
+	// An alloc increase on the skip_allocs benchmark is tolerated; the
+	// same increase on a normally gated benchmark is a zero-tolerance
+	// failure.
+	leaky := snap(t, strings.ReplaceAll(sampleRun,
+		"BenchmarkStepVCActiveSet/mod-k8-v6-8         	    5000	     14209 ns/op	       0 B/op	       0 allocs/op",
+		"BenchmarkStepVCActiveSet/mod-k8-v6-8         	    5000	     14209 ns/op	      64 B/op	       3 allocs/op"))
+	if _, failures := ComparePolicy(base, leaky, pol); len(failures) != 0 {
+		t.Fatalf("skip_allocs gate flagged an alloc change: %v", failures)
+	}
+	doctored := strings.ReplaceAll(sampleRun,
+		"8800 ns/op	       2 B/op	       0 allocs/op",
+		"8800 ns/op	       2 B/op	       1 allocs/op")
+	doctored = strings.ReplaceAll(doctored,
+		"9200 ns/op	       2 B/op	       0 allocs/op",
+		"9200 ns/op	       2 B/op	       1 allocs/op")
+	leakyTight := snap(t, doctored)
+	if _, failures := ComparePolicy(base, leakyTight, pol); len(failures) != 1 ||
+		!strings.Contains(failures[0], "zero tolerance") {
+		t.Fatalf("alloc gate missing on default-policy benchmark: %v", failures)
+	}
+}
+
+func TestReadPolicyRejectsBadFiles(t *testing.T) {
+	for name, body := range map[string]string{
+		"no-gates":   `{"default_max_regress_pct": 15, "gates": {}}`,
+		"no-default": `{"gates": {"BenchmarkX": {}}}`,
+		"bad-limit":  `{"default_max_regress_pct": 15, "gates": {"BenchmarkX": {"max_regress_pct": -3}}}`,
+		"not-json":   `max-regress: 15`,
+	} {
+		if _, err := ReadPolicy(writePolicy(t, body)); err == nil {
+			t.Errorf("%s: ReadPolicy accepted an invalid policy", name)
+		}
+	}
+}
+
+func TestRunPolicyFlagExclusive(t *testing.T) {
+	dir := t.TempDir()
+	txt := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(txt, []byte(sampleRun), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	baseJSON := filepath.Join(dir, "baseline.json")
+	if err := run(txt, baseJSON, "", "", 15, false, "", &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	pol := writePolicy(t, policySample)
+	// -policy alone drives the gate end to end...
+	if err := run(txt, "", baseJSON, "", 15, false, pol, &strings.Builder{}); err != nil {
+		t.Fatalf("policy self-compare failed: %v", err)
+	}
+	// ...and combining it with -gate is refused.
+	err := run(txt, "", baseJSON, "BenchmarkStepTorusLinkCache", 15, false, pol, &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("-policy plus -gate not refused: %v", err)
 	}
 }

@@ -16,6 +16,12 @@
 //	swsim -k 8 -n 2 -v 4 -m 32 -lambda 0.006 -workload-out w.csv
 //	swsim -k 8 -n 2 -v 4 -m 32 -traffic 'replay:file=w.csv'
 //	swsim -k 8 -n 2 -v 10 -m 32 -lambda 0.012 -shape U -warmup 10000 -measure 90000
+//	swsim -topo torus:k=32,n=3 -v 4 -lambda 0.0005 -engine-workers 4
+//
+// -engine-workers splits one simulation's routers across a phase-barriered
+// worker pool; results are bit-identical at every width. The default
+// "auto" scales with topology size on single-point runs and stays serial
+// in sweep modes, which parallelize across points instead.
 //
 // With -sweep, swsim runs one point per λ of a grid through the sweep
 // subsystem: -checkpoint makes the run resumable after interruption,
@@ -51,6 +57,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/sweep"
+	"repro/internal/topology"
 	"repro/internal/trace"
 )
 
@@ -84,6 +91,7 @@ func main() {
 		shardSpec  = flag.String("shard", "", "run only shard i of n ('i/n') of the sweep; journals merge via -merge")
 		mergeList  = flag.String("merge", "", "comma-separated shard journals to merge into -checkpoint before running")
 		workers    = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
+		engWorkers = flag.String("engine-workers", "auto", "engine worker domains per simulation: an integer >= 1, or 'auto' (scales with topology size for single-point runs; sweep modes keep each engine serial and parallelize across points instead)")
 		findSat    = flag.Bool("find-sat", false, "bisection auto-search for the saturation λ instead of a fixed grid")
 		satFactor  = flag.Float64("sat-factor", 3, "saturation threshold as a multiple of zero-load latency (with -find-sat)")
 
@@ -183,6 +191,20 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	topoNet, err := topology.NewNetwork(cfg.TopologySpec())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "swsim: %v\n", err)
+		os.Exit(2)
+	}
+	ew, warn, err := resolveEngineWorkers(*engWorkers, topoNet.Nodes(), *findSat || *sweepGrid != "")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "swsim: %v\n", err)
+		os.Exit(2)
+	}
+	if warn != "" {
+		fmt.Fprintf(os.Stderr, "swsim: warning: %s\n", warn)
+	}
+	cfg.Workers = ew
 	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "swsim: %v\n", err)
@@ -454,6 +476,31 @@ func runFindSat(base core.Config, opt sweep.Options, factor float64, quiet, json
 		fmt.Println("saturation_lambda,bracket_lo,bracket_hi,zero_load_latency,threshold")
 	}
 	fmt.Printf("%.6g,%.6g,%.6g,%.2f,%.2f\n", sat.Lambda, sat.Lo, sat.Hi, sat.ZeroLoad, sat.Threshold)
+}
+
+// resolveEngineWorkers turns the -engine-workers spec into a concrete
+// Config.Workers value. "auto" resolves to core.AutoWorkers for a
+// single-point run; sweep and find-sat modes resolve it to 1, because
+// they already saturate the machine by running engines in parallel
+// across points, and nested parallelism would just add barrier
+// overhead. An explicit integer applies in every mode, must be >= 1,
+// and earns a warning (not an error — the engine clamps to one domain
+// per router) when it exceeds the router count.
+func resolveEngineWorkers(spec string, nodes int, multiPoint bool) (workers int, warn string, err error) {
+	if spec == "auto" {
+		if multiPoint {
+			return 1, "", nil
+		}
+		return core.AutoWorkers(nodes), "", nil
+	}
+	w, perr := strconv.Atoi(spec)
+	if perr != nil || w < 1 {
+		return 0, "", fmt.Errorf("bad -engine-workers %q (want an integer >= 1, or 'auto')", spec)
+	}
+	if w > nodes {
+		warn = fmt.Sprintf("-engine-workers %d exceeds the %d-router topology; the engine will clamp to %d single-router domains", w, nodes, nodes)
+	}
+	return w, warn, nil
 }
 
 // algExplicit reports whether -alg was passed on the command line (as

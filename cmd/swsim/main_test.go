@@ -2,8 +2,46 @@ package main
 
 import (
 	"math"
+	"runtime"
 	"testing"
+
+	"repro/internal/core"
 )
+
+func TestResolveEngineWorkers(t *testing.T) {
+	// Explicit widths pass through in every mode; only > nodes warns.
+	for _, multi := range []bool{false, true} {
+		w, warn, err := resolveEngineWorkers("4", 4096, multi)
+		if err != nil || warn != "" || w != 4 {
+			t.Errorf("resolveEngineWorkers(4, 4096, %v) = %d, %q, %v; want 4, no warning", multi, w, warn, err)
+		}
+	}
+	if w, warn, err := resolveEngineWorkers("10", 4, false); err != nil || w != 10 || warn == "" {
+		t.Errorf("resolveEngineWorkers(10, 4) = %d, %q, %v; want 10 with an over-subscription warning", w, warn, err)
+	}
+
+	// "auto" keeps sweep-mode engines serial and delegates single-point
+	// runs to core.AutoWorkers (bounded by GOMAXPROCS, floored at 1).
+	if w, _, err := resolveEngineWorkers("auto", 1<<15, true); err != nil || w != 1 {
+		t.Errorf("auto in sweep mode = %d, %v; want 1", w, err)
+	}
+	w, _, err := resolveEngineWorkers("auto", 1<<15, false)
+	if err != nil || w != core.AutoWorkers(1<<15) {
+		t.Errorf("auto single-point = %d, %v; want core.AutoWorkers", w, err)
+	}
+	if max := runtime.GOMAXPROCS(0); w < 1 || w > max {
+		t.Errorf("auto single-point = %d, outside [1, GOMAXPROCS=%d]", w, max)
+	}
+	if w, _, err := resolveEngineWorkers("auto", 16, false); err != nil || w != 1 {
+		t.Errorf("auto on a 16-router topology = %d, %v; want 1 (below MinDomainNodes)", w, err)
+	}
+
+	for _, bad := range []string{"0", "-1", "1.5", "abc", "", "Auto"} {
+		if _, _, err := resolveEngineWorkers(bad, 64, false); err == nil {
+			t.Errorf("resolveEngineWorkers(%q): want error", bad)
+		}
+	}
+}
 
 func TestParseGrid(t *testing.T) {
 	for _, tc := range []struct {

@@ -10,6 +10,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"strconv"
 
 	"repro/internal/fault"
@@ -146,6 +147,22 @@ type Config struct {
 	// Benchmark/ablation knob mirroring DenseScan/NoLinkCache: results are
 	// bit-identical either way, only allocation behaviour differs.
 	NoArena bool
+	// GlobalRNG restores the legacy VC-selection rng: one engine-wide
+	// stream consumed in router-iteration order instead of the per-router
+	// streams that are now the default. Reference/ablation knob. Unlike
+	// the knobs above it changes the draw sequence — each mode is
+	// bit-identical to itself across every scheduler/worker-independent
+	// knob, not to the other mode — so it IS part of the experiment
+	// description (and of sweep identity). Incompatible with Workers > 1.
+	GlobalRNG bool
+	// Workers is the engine's stepping-domain count: >1 partitions the
+	// routers into contiguous node-range domains stepped by a worker pool
+	// under a compute/commit barrier. Results are bit-identical for any
+	// value (the determinism contract), so like CaptureWorkload it is an
+	// execution detail, not part of the experiment description — it stays
+	// out of the serialised config and sweep identity. 0 means 1 (serial);
+	// values above the node count are clamped by the engine.
+	Workers int `json:"-"`
 	// Seed makes the run reproducible.
 	Seed uint64
 }
@@ -269,6 +286,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: WarmupMessages must be >= 0, got %d", c.WarmupMessages)
 	case c.Td < 0 || c.Delta < 0:
 		return fmt.Errorf("core: Td and Delta must be >= 0")
+	case c.Workers < 0:
+		return fmt.Errorf("core: Workers must be >= 0, got %d", c.Workers)
+	case c.GlobalRNG && c.Workers > 1:
+		return fmt.Errorf("core: GlobalRNG (one serial rng stream) is incompatible with Workers > 1")
 	}
 	if err := c.validateWorkload(net); err != nil {
 		return err
@@ -399,4 +420,24 @@ func (c Config) saturationBacklog(nodes int) int {
 		return c.SaturationBacklog
 	}
 	return 16 * nodes
+}
+
+// MinDomainNodes is the smallest per-domain router count AutoWorkers
+/// considers worth a worker: below a few hundred routers the per-cycle
+// barrier and mailbox bookkeeping outweighs the parallel phase work.
+const MinDomainNodes = 256
+
+// AutoWorkers picks an engine worker count for a network of the given
+// size: one domain per MinDomainNodes routers, capped at GOMAXPROCS,
+// floored at 1 (serial). Used by callers with an "auto" workers setting
+// (swsim -engine-workers); explicit Config.Workers values bypass it.
+func AutoWorkers(nodes int) int {
+	w := nodes / MinDomainNodes
+	if max := runtime.GOMAXPROCS(0); w > max {
+		w = max
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }

@@ -138,7 +138,26 @@ func NewEngine(c Config) (*Engine, error) {
 		DenseVCScan:        c.DenseVCScan,
 		NoLinkCache:        c.NoLinkCache,
 		NoArena:            c.NoArena,
+		GlobalRNG:          c.GlobalRNG,
+		Workers:            c.Workers,
 		Pool:               pool,
+	}
+	if c.Workers > 1 {
+		// Each extra engine worker needs its own routing instance (decision
+		// scratch is per-goroutine); clones are configured identically to
+		// alg, so any worker reaches the same decisions.
+		params.AlgFactory = func() (routing.Router, error) {
+			a, err := routing.New(c.AlgorithmName(), t, fs, c.V)
+			if err != nil {
+				return nil, err
+			}
+			if c.Escalation > 0 {
+				if es, ok := a.(routing.EscalationSetter); ok {
+					es.SetEscalation(c.Escalation)
+				}
+			}
+			return a, nil
+		}
 	}
 	nw := network.New(t, fs, alg, gen, col, params, r.Split(2))
 	return &Engine{

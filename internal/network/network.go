@@ -10,8 +10,11 @@
 //   - the messaging layer rewrites the header (internal/routing's planner),
 //   - after Δ cycles the message re-injects with priority over new traffic.
 //
-// The engine is single-goroutine and fully deterministic for a given seed;
-// sweeps parallelise across engine instances (see internal/core).
+// The engine is fully deterministic for a given seed at any worker count:
+// Params.Workers > 1 partitions the routers into contiguous node-range
+// domains stepped by a worker pool under a compute/commit barrier (see
+// parallel.go), with results bit-identical to the serial engine. Sweeps
+// additionally parallelise across engine instances (see internal/core).
 //
 // Messages live in a message.Pool: every queue, stream and buffered flit
 // carries a compact message.Ref instead of a pointer, and delivery/drop
@@ -91,6 +94,27 @@ type Params struct {
 	// results are bit-identical either way, only allocation behaviour
 	// differs. Ignored when Pool is set (the pool carries its own mode).
 	NoArena bool
+	// GlobalRNG restores the legacy VC-selection rng: one engine-wide
+	// stream consumed in router-iteration order, as the engine drew before
+	// per-router streams became the default. Ablation/reference knob in
+	// the DenseScan family. The draw *sequence* necessarily differs from
+	// the per-router default (each mode is bit-identical to itself across
+	// every scheduler knob, not to the other mode), and a global stream
+	// cannot be consumed concurrently, so GlobalRNG requires Workers <= 1.
+	GlobalRNG bool
+	// Workers is the number of stepping domains: the routers are split
+	// into this many contiguous node-id ranges, each stepped by its own
+	// worker under a compute/commit barrier (see parallel.go). <= 1 runs
+	// the serial engine. Results are bit-identical for any value; only
+	// wall-clock cost differs. Values above the node count are clamped.
+	Workers int
+	// AlgFactory builds one extra routing-algorithm instance per parallel
+	// worker beyond the first (a routing.Router's Decision scratch must not
+	// be shared across goroutines). Required when Workers > 1; instances
+	// must be configured identically to the engine's alg (same topology,
+	// fault set, V, escalation). internal/core wires it from the routing
+	// registry.
+	AlgFactory func() (routing.Router, error)
 	// Pool, when non-nil, is the message pool the engine registers, resolves
 	// and frees messages in. It must be the same pool the traffic source
 	// allocates from (see traffic.Env.Pool); internal/core wires the two.
@@ -195,6 +219,21 @@ type Network struct {
 	col     *metrics.Collector
 	r       *rng.Stream
 
+	// rngs holds each router's VC-selection stream, derived from the
+	// engine stream via Split(rng.RouterLabel(id)) at construction. Under
+	// the GlobalRNG ablation every entry aliases the one engine stream, so
+	// the hot path is branch-free either way. Per-router ownership is what
+	// lets domains draw concurrently without perturbing each other.
+	rngs []*rng.Stream
+
+	// sw is the serial stepping context: the one worker that applies every
+	// effect directly instead of staging it (see worker). par, when
+	// non-nil, holds the parallel domain workers and dom maps node id →
+	// owning domain index (see parallel.go).
+	sw  *worker
+	par []*worker
+	dom []int32
+
 	// Per-node software queues: fresh traffic and re-injections (the latter
 	// have absolute priority, §4 "Absorbed messages have priority over new
 	// messages to prevent starvation").
@@ -206,7 +245,8 @@ type Network struct {
 
 	// arrivals holds in-flight link transfers (uniform latency, so FIFO is
 	// due-ordered); injArrivals holds same-cycle injection-channel
-	// transfers, drained fully every cycle.
+	// transfers, drained fully every cycle. Both are the serial engine's
+	// queues; parallel workers keep per-domain equivalents.
 	arrivals    []arrivalEvent
 	injArrivals []arrivalEvent
 	credits     []creditEvent
@@ -229,13 +269,6 @@ type Network struct {
 	// router's phases visit only lanes holding flits instead of scanning
 	// all Ports()×V. Off under either dense knob.
 	vcTrack bool
-
-	// buckets is switchTraversal's per-output-port request scratch,
-	// pre-sized to the worst case ((degree+1)·V input lanes) so the
-	// allocation phase never grows it; freeVCs is allocateLane's candidate
-	// scratch, likewise allocated once.
-	buckets [][]xbarReq
-	freeVCs []routing.CandidateVC
 
 	now       int64
 	inFlight  int // worms injected (streaming or in-network) not yet completed
@@ -277,15 +310,21 @@ func New(t topology.Network, f *fault.Set, alg routing.Router, gen traffic.Sourc
 		active:  make([]bool, t.Nodes()),
 	}
 	n.vcTrack = !p.DenseScan && !p.DenseVCScan
+	// A node never runs more than V injection streams (one per injection
+	// VC), so every per-node stream slice is carved from one backing array
+	// at its full capacity; likewise the software queues get a small
+	// starting capacity. Without this, the first message reaching each of
+	// tens of thousands of nodes triggers an append growth long after
+	// warm-up — the allocations the zero-alloc Step gate would flag.
+	streamBacking := make([]stream, t.Nodes()*p.V)
 	for id := 0; id < t.Nodes(); id++ {
 		n.routers[id] = router.New(topology.NodeID(id), t.N(), p.V, p.BufDepth)
 		if n.vcTrack {
 			n.routers[id].EnableLaneTracking()
 		}
-	}
-	n.buckets = make([][]xbarReq, t.Degree())
-	for i := range n.buckets {
-		n.buckets[i] = make([]xbarReq, 0, (t.Degree()+1)*p.V)
+		n.streams[id] = streamBacking[id*p.V : id*p.V : (id+1)*p.V]
+		n.newQ[id].items = make([]message.Ref, 0, 4)
+		n.reQ[id].items = make([]pendingMsg, 0, 4)
 	}
 	n.buildLinkTable()
 	if p.DenseScan {
@@ -295,6 +334,21 @@ func New(t topology.Network, f *fault.Set, alg routing.Router, gen traffic.Sourc
 		}
 		n.work = n.allIDs
 	}
+	n.rngs = make([]*rng.Stream, t.Nodes())
+	if p.GlobalRNG {
+		if p.Workers > 1 {
+			panic("network: GlobalRNG is one stream consumed in router-iteration order and cannot be drawn concurrently; use Workers <= 1")
+		}
+		for id := range n.rngs {
+			n.rngs[id] = r
+		}
+	} else {
+		for id := range n.rngs {
+			n.rngs[id] = r.Split(rng.RouterLabel(id))
+		}
+	}
+	n.sw = newWorker(n, 0, true, 0, topology.NodeID(t.Nodes()), alg)
+	n.initWorkers()
 	return n
 }
 
@@ -350,7 +404,9 @@ func (nw *Network) linkFor(node topology.NodeID, port topology.Port) link {
 }
 
 // markActive schedules a router for the next cycle's worklist. Safe to
-// call redundantly; membership is deduplicated by the active flags.
+// call redundantly; membership is deduplicated by the active flags. Serial
+// contexts only (construction, Enqueue, pollTraffic, serial applyStaged);
+// parallel workers mark through their own pend lists (worker.applyArrival).
 func (nw *Network) markActive(id topology.NodeID) {
 	if nw.p.DenseScan || nw.active[id] {
 		return
@@ -425,6 +481,15 @@ func (nw *Network) InFlight() int { return nw.inFlight }
 // Pool returns the engine's message pool.
 func (nw *Network) Pool() *message.Pool { return nw.pool }
 
+// Workers returns the effective stepping-domain count: 1 for the serial
+// engine, the (node-clamped) Params.Workers otherwise.
+func (nw *Network) Workers() int {
+	if nw.par == nil {
+		return 1
+	}
+	return len(nw.par)
+}
+
 // Backlog returns the number of messages waiting in source software queues
 // (new + re-injection) plus active injection streams.
 func (nw *Network) Backlog() int {
@@ -461,6 +526,11 @@ func (nw *Network) Idle() bool {
 	if nw.Backlog() > 0 || len(nw.arrivals) > 0 || len(nw.injArrivals) > 0 {
 		return false
 	}
+	for _, w := range nw.par {
+		if len(w.arrQ) > 0 {
+			return false
+		}
+	}
 	for _, rt := range nw.routers {
 		if rt.Flits > 0 {
 			return false
@@ -471,6 +541,10 @@ func (nw *Network) Idle() bool {
 
 // Step advances the simulation by one cycle.
 func (nw *Network) Step() {
+	if nw.par != nil {
+		nw.stepParallel()
+		return
+	}
 	nw.now++
 	nw.pollTraffic()
 	nw.beginCycle()
@@ -497,35 +571,42 @@ func (nw *Network) pollTraffic() {
 }
 
 // routeAndAllocate runs routing decisions and output-VC allocation for
-// every head flit parked at the front of an input VC. With the per-VC
-// scheduler it visits only each router's active lanes; the dense-VC
-// ablation nests over all Ports()×V. Both orders are port-major/VC-minor,
-// so rng draws are identical.
+// every head flit parked at the front of an input VC.
 func (nw *Network) routeAndAllocate() {
 	for _, node := range nw.work {
-		rt := nw.routers[node]
-		if nw.vcTrack {
-			for _, lane := range rt.Lanes() {
-				port, vc := rt.LanePortVC(lane)
-				nw.allocateLane(node, rt, port, vc)
-			}
-			continue
+		nw.sw.routeNode(node)
+	}
+}
+
+// routeNode takes the routing decisions of one router. With the per-VC
+// scheduler it visits only the router's active lanes; the dense-VC
+// ablation nests over all Ports()×V. Both orders are port-major/VC-minor,
+// so rng draws are identical.
+func (w *worker) routeNode(node topology.NodeID) {
+	rt := w.nw.routers[node]
+	if w.nw.vcTrack {
+		for _, lane := range rt.Lanes() {
+			port, vc := rt.LanePortVC(lane)
+			w.allocateLane(node, rt, port, vc)
 		}
-		if rt.Flits == 0 {
-			continue
-		}
-		for port := range rt.In {
-			for vc := range rt.In[port] {
-				nw.allocateLane(node, rt, port, vc)
-			}
+		return
+	}
+	if rt.Flits == 0 {
+		return
+	}
+	for port := range rt.In {
+		for vc := range rt.In[port] {
+			w.allocateLane(node, rt, port, vc)
 		}
 	}
 }
 
 // allocateLane takes the routing decision for input lane (port, vc) of
 // node, if its front flit is a head that is ready and unrouted. The
-// candidate scratch nw.freeVCs is reused across calls.
-func (nw *Network) allocateLane(node topology.NodeID, rt *router.Router, port, vc int) {
+// candidate scratch w.freeVCs is reused across calls; the VC pick draws
+// from the router's own stream (see Network.rngs).
+func (w *worker) allocateLane(node topology.NodeID, rt *router.Router, port, vc int) {
+	nw := w.nw
 	ivc := &rt.In[port][vc]
 	if ivc.HasRoute {
 		return
@@ -538,7 +619,7 @@ func (nw *Network) allocateLane(node topology.NodeID, rt *router.Router, port, v
 		return
 	}
 	m := nw.pool.At(front.Ref())
-	dec := nw.alg.Route(node, m)
+	dec := w.alg.Route(node, m)
 	switch dec.Outcome {
 	case routing.Deliver:
 		m.Pending = message.StopDeliver
@@ -547,15 +628,15 @@ func (nw *Network) allocateLane(node topology.NodeID, rt *router.Router, port, v
 		m.Pending = message.StopVia
 		ivc.HasRoute, ivc.ToEject = true, true
 	case routing.AbsorbFault:
-		nw.trace(trace.AbsorbStart, m.ID, node)
-		if nw.alg.Plan(node, m, dec.BlockedDim, dec.BlockedDir) {
+		w.emitTrace(trace.AbsorbStart, m.ID, node)
+		if w.alg.Plan(node, m, dec.BlockedDim, dec.BlockedDir) {
 			m.Pending = message.StopFault
 		} else {
 			m.Pending = message.StopDrop
 		}
 		ivc.HasRoute, ivc.ToEject = true, true
 	case routing.Progress:
-		free := nw.freeVCs[:0]
+		free := w.freeVCs[:0]
 		for _, c := range dec.Preferred {
 			if !rt.Out[c.Port][c.VC].Busy {
 				free = append(free, c)
@@ -568,73 +649,80 @@ func (nw *Network) allocateLane(node topology.NodeID, rt *router.Router, port, v
 				}
 			}
 		}
-		nw.freeVCs = free
+		w.freeVCs = free
 		if len(free) == 0 {
 			return // all candidate VCs owned; retry next cycle
 		}
-		pick := free[nw.r.Intn(len(free))]
+		pick := free[nw.rngs[node].Intn(len(free))]
 		rt.Out[pick.Port][pick.VC].Busy = true
 		ivc.HasRoute, ivc.ToEject = true, false
 		ivc.OutPort, ivc.OutVC = pick.Port, pick.VC
 	}
 }
 
-// switchTraversal performs switch allocation and link/ejection traversal.
-// The paper's router is a full (2n+1)V-way crossbar that "can
+// switchTraversal performs switch allocation and link/ejection traversal
+// for every working router.
+func (nw *Network) switchTraversal() {
+	for _, node := range nw.work {
+		nw.sw.switchNode(node)
+	}
+}
+
+// switchNode performs one router's switch allocation and link/ejection
+// traversal. The paper's router is a full (2n+1)V-way crossbar that "can
 // simultaneously connect multiple input to multiple output virtual
 // channels": any buffered flit may move as long as (a) at most one flit
 // crosses each output physical channel per cycle (VCs time-multiplex the
 // link bandwidth), and (b) ejection drains each absorbing/delivering VC at
 // one flit per cycle (assumption (d): messages transfer to the PE as soon
 // as they arrive).
-func (nw *Network) switchTraversal() {
-	degree := nw.t.Degree()
-	for _, node := range nw.work {
-		rt := nw.routers[node]
-		if nw.vcTrack {
-			if len(rt.Lanes()) == 0 {
-				continue
-			}
-			for i := range nw.buckets {
-				nw.buckets[i] = nw.buckets[i][:0]
-			}
-			for _, lane := range rt.Lanes() {
-				port, vc := rt.LanePortVC(lane)
-				nw.gatherLane(node, rt, port, vc)
-			}
-		} else {
-			if rt.Flits == 0 {
-				continue
-			}
-			for i := range nw.buckets {
-				nw.buckets[i] = nw.buckets[i][:0]
-			}
-			for port := range rt.In {
-				for vc := range rt.In[port] {
-					nw.gatherLane(node, rt, port, vc)
-				}
+func (w *worker) switchNode(node topology.NodeID) {
+	nw := w.nw
+	rt := nw.routers[node]
+	if nw.vcTrack {
+		if len(rt.Lanes()) == 0 {
+			return
+		}
+		for i := range w.buckets {
+			w.buckets[i] = w.buckets[i][:0]
+		}
+		for _, lane := range rt.Lanes() {
+			port, vc := rt.LanePortVC(lane)
+			w.gatherLane(node, rt, port, vc)
+		}
+	} else {
+		if rt.Flits == 0 {
+			return
+		}
+		for i := range w.buckets {
+			w.buckets[i] = w.buckets[i][:0]
+		}
+		for port := range rt.In {
+			for vc := range rt.In[port] {
+				w.gatherLane(node, rt, port, vc)
 			}
 		}
-		// Network output channels: one flit per physical channel per cycle,
-		// round-robin over the competing input VCs.
-		for out := 0; out < degree; out++ {
-			cands := nw.buckets[out]
-			if len(cands) == 0 {
+	}
+	// Network output channels: one flit per physical channel per cycle,
+	// round-robin over the competing input VCs.
+	degree := nw.t.Degree()
+	for out := 0; out < degree; out++ {
+		cands := w.buckets[out]
+		if len(cands) == 0 {
+			continue
+		}
+		n := len(cands)
+		start := rt.RROut[out] % n
+		for i := 0; i < n; i++ {
+			c := cands[(start+i)%n]
+			ivc := &rt.In[c.port][c.vc]
+			ovc := &rt.Out[ivc.OutPort][ivc.OutVC]
+			if ovc.Credits == 0 {
 				continue
 			}
-			n := len(cands)
-			start := rt.RROut[out] % n
-			for i := 0; i < n; i++ {
-				c := cands[(start+i)%n]
-				ivc := &rt.In[c.port][c.vc]
-				ovc := &rt.Out[ivc.OutPort][ivc.OutVC]
-				if ovc.Credits == 0 {
-					continue
-				}
-				nw.moveNetwork(node, rt, c.port, c.vc)
-				rt.RROut[out] = (start + i + 1) % n
-				break
-			}
+			w.moveNetwork(node, rt, c.port, c.vc)
+			rt.RROut[out] = (start + i + 1) % n
+			break
 		}
 	}
 }
@@ -642,21 +730,22 @@ func (nw *Network) switchTraversal() {
 // gatherLane inspects input lane (port, vc): routed eject lanes drain
 // immediately (per-VC ejection, no arbitration), routed network lanes file
 // a crossbar request into their output port's bucket.
-func (nw *Network) gatherLane(node topology.NodeID, rt *router.Router, port, vc int) {
+func (w *worker) gatherLane(node topology.NodeID, rt *router.Router, port, vc int) {
 	ivc := &rt.In[port][vc]
 	if !ivc.HasRoute || ivc.Buf.Len() == 0 {
 		return
 	}
 	if ivc.ToEject {
-		nw.moveEject(node, rt, port, vc)
+		w.moveEject(node, rt, port, vc)
 	} else {
-		nw.buckets[ivc.OutPort] = append(nw.buckets[ivc.OutPort], xbarReq{port, vc})
+		w.buckets[ivc.OutPort] = append(w.buckets[ivc.OutPort], xbarReq{port, vc})
 	}
 }
 
 // moveNetwork sends the front flit of input (port, vc) through its
 // allocated output VC to the neighbouring router.
-func (nw *Network) moveNetwork(node topology.NodeID, rt *router.Router, port, vc int) {
+func (w *worker) moveNetwork(node topology.NodeID, rt *router.Router, port, vc int) {
+	nw := w.nw
 	ivc := &rt.In[port][vc]
 	f := rt.Pop(port, vc)
 	ovc := &rt.Out[ivc.OutPort][ivc.OutVC]
@@ -667,16 +756,16 @@ func (nw *Network) moveNetwork(node topology.NodeID, rt *router.Router, port, vc
 		if lk.wraps {
 			m.Crossed[ivc.OutPort.Dim()] = true
 		}
-		nw.trace(trace.Hop, m.ID, lk.dst)
+		w.emitTrace(trace.Hop, m.ID, lk.dst)
 	}
-	nw.stageArrival(arrivalEvent{
+	w.stageArrivalW(arrivalEvent{
 		dueAt: nw.now + lk.lat - 1,
 		node:  lk.dst,
 		port:  int(ivc.OutPort.Opposite()),
 		vc:    ivc.OutVC,
 		flit:  f,
 	})
-	nw.returnCredit(node, port, vc)
+	w.returnCredit(node, port, vc)
 	if f.IsTail() {
 		ovc.Busy = false
 		ivc.HasRoute = false
@@ -693,13 +782,17 @@ func (nw *Network) refreshReady(ivc *router.InVC) {
 }
 
 // moveEject drains the front flit of input (port, vc) into the local PE /
-// messaging layer and finalises the worm when its tail arrives. A
-// delivered or dropped worm's message returns to the pool here — the end
-// of the Ref lifetime.
-func (nw *Network) moveEject(node topology.NodeID, rt *router.Router, port, vc int) {
+// messaging layer and finalises the worm when its tail arrives. The
+// local state transitions (buffer pop, requeue, header rewrite) happen
+// here; the shared-state finalisation — tracing, metrics, returning the
+// message to the pool, the in-flight counter — goes through the worker's
+// effect channel (emit), which applies it immediately on the serial path
+// and stages it for the ordered commit on the parallel one.
+func (w *worker) moveEject(node topology.NodeID, rt *router.Router, port, vc int) {
+	nw := w.nw
 	ivc := &rt.In[port][vc]
 	f := rt.Pop(port, vc)
-	nw.returnCredit(node, port, vc)
+	w.returnCredit(node, port, vc)
 	if !f.IsTail() {
 		return
 	}
@@ -709,28 +802,20 @@ func (nw *Network) moveEject(node topology.NodeID, rt *router.Router, port, vc i
 	m := nw.pool.At(ref)
 	reason := m.Pending
 	m.Pending = message.StopNone
-	nw.inFlight--
 	switch reason {
 	case message.StopDeliver:
-		nw.trace(trace.Deliver, m.ID, node)
-		nw.col.Delivered(m, nw.now)
-		nw.pool.Free(ref)
+		w.emit(fxRec{kind: fxDeliver, ref: ref, msg: m.ID, node: node})
 	case message.StopVia:
-		nw.trace(trace.ViaStop, m.ID, node)
-		nw.col.Stop(m, metrics.StopVia)
+		w.emit(fxRec{kind: fxStopVia, ref: ref, msg: m.ID, node: node})
 		m.PopViasAt(node)
 		m.ResetForReinjection()
 		nw.requeue(node, ref)
 	case message.StopFault:
-		nw.trace(trace.FaultStop, m.ID, node)
-		nw.col.Stop(m, metrics.StopFault)
+		w.emit(fxRec{kind: fxStopFault, ref: ref, msg: m.ID, node: node})
 		m.ResetForReinjection()
 		nw.requeue(node, ref)
 	case message.StopDrop:
-		nw.trace(trace.Drop, m.ID, node)
-		nw.col.Dropped(m)
-		nw.dropped++
-		nw.pool.Free(ref)
+		w.emit(fxRec{kind: fxDropEject, ref: ref, msg: m.ID, node: node})
 	default:
 		panic(fmt.Sprintf("network: worm ejected with no stop reason: %v", m))
 	}
@@ -745,18 +830,24 @@ func (nw *Network) requeue(node topology.NodeID, ref message.Ref) {
 // returnCredit stages a credit for the upstream output VC feeding input
 // (port, vc) of node. Injection-port buffers are fed by the local source,
 // which checks space directly, so they carry no credits.
-func (nw *Network) returnCredit(node topology.NodeID, port, vc int) {
+func (w *worker) returnCredit(node topology.NodeID, port, vc int) {
+	nw := w.nw
 	if port >= nw.t.Degree() {
 		return
 	}
 	tp := topology.Port(port)
 	up := nw.linkFor(node, tp).dst
-	nw.credits = append(nw.credits, creditEvent{
+	ev := creditEvent{
 		dueAt: nw.now + nw.p.CreditDelay - 1,
 		node:  up,
 		port:  tp.Opposite(),
 		vc:    vc,
-	})
+	}
+	if w.direct {
+		nw.credits = append(nw.credits, ev)
+		return
+	}
+	w.outCred[nw.dom[up]] = append(w.outCred[nw.dom[up]], ev)
 }
 
 // inject moves at most one flit per node from the software layer into the
@@ -764,38 +855,49 @@ func (nw *Network) returnCredit(node topology.NodeID, port, vc int) {
 // Re-injected (absorbed) messages always start before new messages.
 func (nw *Network) inject() {
 	for _, node := range nw.work {
-		nw.startStreams(node)
-		ss := nw.streams[node]
-		if len(ss) == 0 {
+		nw.sw.injectNode(node)
+	}
+}
+
+// injectNode runs one node's software-layer injection for this cycle.
+func (w *worker) injectNode(node topology.NodeID) {
+	nw := w.nw
+	w.startStreams(node)
+	ss := nw.streams[node]
+	if len(ss) == 0 {
+		return
+	}
+	rt := nw.routers[node]
+	injPort := rt.InjectionPort()
+	// Round-robin across active streams for the single injection
+	// channel's flit slot.
+	n := len(ss)
+	start := nw.rrInj[node] % n
+	for i := 0; i < n; i++ {
+		s := &ss[(start+i)%n]
+		ivc := &rt.In[injPort][s.vc]
+		if ivc.Buf.Space() == 0 {
 			continue
 		}
-		rt := nw.routers[node]
-		injPort := rt.InjectionPort()
-		// Round-robin across active streams for the single injection
-		// channel's flit slot.
-		n := len(ss)
-		start := nw.rrInj[node] % n
-		for i := 0; i < n; i++ {
-			s := &ss[(start+i)%n]
-			ivc := &rt.In[injPort][s.vc]
-			if ivc.Buf.Space() == 0 {
-				continue
-			}
-			// Injection is a local wire: always one cycle.
-			nw.injArrivals = append(nw.injArrivals, arrivalEvent{
-				dueAt: nw.now, node: node, port: injPort, vc: s.vc,
-				flit: message.MakeFlit(s.ref, s.seq, s.len),
-			})
-			// Reserve the slot so a same-cycle arrival cannot overflow.
-			s.seq++
-			nw.rrInj[node] = (start + i + 1) % n
-			if s.seq == s.len {
-				// Stream complete; remove, preserving order.
-				idx := (start + i) % n
-				nw.streams[node] = append(ss[:idx], ss[idx+1:]...)
-			}
-			break
+		// Injection is a local wire: always one cycle.
+		ev := arrivalEvent{
+			dueAt: nw.now, node: node, port: injPort, vc: s.vc,
+			flit: message.MakeFlit(s.ref, s.seq, s.len),
 		}
+		if w.direct {
+			nw.injArrivals = append(nw.injArrivals, ev)
+		} else {
+			w.injArr = append(w.injArr, ev)
+		}
+		// Reserve the slot so a same-cycle arrival cannot overflow.
+		s.seq++
+		nw.rrInj[node] = (start + i + 1) % n
+		if s.seq == s.len {
+			// Stream complete; remove, preserving order.
+			idx := (start + i) % n
+			nw.streams[node] = append(ss[:idx], ss[idx+1:]...)
+		}
+		break
 	}
 }
 
@@ -803,7 +905,8 @@ func (nw *Network) inject() {
 // queue first. A message's header is validated against the fault set at
 // start time: a blocked first hop is re-planned in software before the worm
 // ever enters the network.
-func (nw *Network) startStreams(node topology.NodeID) {
+func (w *worker) startStreams(node topology.NodeID) {
+	nw := w.nw
 	rt := nw.routers[node]
 	injPort := rt.InjectionPort()
 	for {
@@ -834,18 +937,15 @@ func (nw *Network) startStreams(node topology.NodeID) {
 			return
 		}
 		m := nw.pool.At(ref)
-		if !nw.prepareForInjection(node, m) {
+		if !w.prepareForInjection(node, m) {
 			// Undeliverable: drop it and keep scanning the queue.
 			nw.popQueue(node)
-			nw.col.Dropped(m)
-			nw.dropped++
-			nw.pool.Free(ref)
+			w.emit(fxRec{kind: fxDropInject, ref: ref, msg: m.ID, node: node})
 			continue
 		}
 		nw.popQueue(node)
 		nw.streams[node] = append(nw.streams[node], stream{ref: ref, len: m.Len, vc: vc})
-		nw.inFlight++
-		nw.trace(trace.Inject, m.ID, node)
+		w.emit(fxRec{kind: fxInject, ref: ref, msg: m.ID, node: node})
 	}
 }
 
@@ -901,16 +1001,16 @@ func (nw *Network) popQueue(node topology.NodeID) {
 // prepareForInjection runs the injection-time fault check: if the message's
 // required first hop is faulty, the messaging layer replans before the worm
 // enters the network. Reports false when the message is undeliverable.
-func (nw *Network) prepareForInjection(node topology.NodeID, m *message.Message) bool {
+func (w *worker) prepareForInjection(node topology.NodeID, m *message.Message) bool {
 	for guard := 0; guard < 4; guard++ {
-		dec := nw.alg.Route(node, m)
+		dec := w.alg.Route(node, m)
 		switch dec.Outcome {
 		case routing.Progress, routing.Deliver:
 			return true
 		case routing.ViaArrived:
 			m.PopViasAt(node)
 		case routing.AbsorbFault:
-			if !nw.alg.Plan(node, m, dec.BlockedDim, dec.BlockedDir) {
+			if !w.alg.Plan(node, m, dec.BlockedDim, dec.BlockedDir) {
 				return false
 			}
 		}
@@ -918,21 +1018,29 @@ func (nw *Network) prepareForInjection(node topology.NodeID, m *message.Message)
 	return true
 }
 
-// stageArrival enqueues an in-flight link transfer. With uniform link
-// latency the queue is naturally due-ordered FIFO; a latmap overlay mixes
-// latencies, so the event is then inserted at its due position (after
-// every event with the same due cycle, preserving deterministic
-// same-cycle application order).
+// stageArrival enqueues an in-flight link transfer on the serial engine's
+// queue. With uniform link latency the queue is naturally due-ordered
+// FIFO; a latmap overlay mixes latencies, so the event is then inserted at
+// its due position (after every event with the same due cycle, preserving
+// deterministic same-cycle application order).
 func (nw *Network) stageArrival(ev arrivalEvent) {
-	n := len(nw.arrivals)
-	if nw.uniformLat || n == 0 || nw.arrivals[n-1].dueAt <= ev.dueAt {
-		nw.arrivals = append(nw.arrivals, ev)
-		return
+	nw.arrivals = queueArrival(nw.arrivals, ev, nw.uniformLat)
+}
+
+// queueArrival inserts one staged transfer into a due-ordered arrival
+// queue, keeping same-due events in staging order. The serial engine and
+// every parallel domain share this discipline, which is what makes the
+// per-domain queues apply each receiver's events in the serial order.
+func queueArrival(q []arrivalEvent, ev arrivalEvent, uniformLat bool) []arrivalEvent {
+	n := len(q)
+	if uniformLat || n == 0 || q[n-1].dueAt <= ev.dueAt {
+		return append(q, ev)
 	}
-	i := sort.Search(n, func(i int) bool { return nw.arrivals[i].dueAt > ev.dueAt })
-	nw.arrivals = append(nw.arrivals, arrivalEvent{})
-	copy(nw.arrivals[i+1:], nw.arrivals[i:])
-	nw.arrivals[i] = ev
+	i := sort.Search(n, func(i int) bool { return q[i].dueAt > ev.dueAt })
+	q = append(q, arrivalEvent{})
+	copy(q[i+1:], q[i:])
+	q[i] = ev
+	return q
 }
 
 // applyStaged commits the flit arrivals and credit returns that are due at
@@ -941,12 +1049,12 @@ func (nw *Network) stageArrival(ev arrivalEvent) {
 // sorted (FIFO) tail in flight.
 func (nw *Network) applyStaged() {
 	for _, a := range nw.injArrivals {
-		nw.applyArrival(a)
+		nw.sw.applyArrival(a)
 	}
 	nw.injArrivals = nw.injArrivals[:0]
 	i := 0
 	for ; i < len(nw.arrivals) && nw.arrivals[i].dueAt <= nw.now; i++ {
-		nw.applyArrival(nw.arrivals[i])
+		nw.sw.applyArrival(nw.arrivals[i])
 	}
 	nw.arrivals = sliceTail(nw.arrivals, i)
 	j := 0
@@ -957,11 +1065,22 @@ func (nw *Network) applyStaged() {
 	nw.credits = sliceTail(nw.credits, j)
 }
 
-// applyArrival commits one staged flit into its destination buffer.
-func (nw *Network) applyArrival(a arrivalEvent) {
+// applyArrival commits one staged flit into its destination buffer. A
+// parallel worker only ever applies arrivals addressed to its own domain,
+// so the activation mark goes on its private pend list; the serial worker
+// marks through the engine's pending list as always.
+func (w *worker) applyArrival(a arrivalEvent) {
+	nw := w.nw
 	rt := nw.routers[a.node]
 	rt.Push(a.port, a.vc, a.flit)
-	nw.markActive(a.node)
+	if !nw.p.DenseScan && !nw.active[a.node] {
+		nw.active[a.node] = true
+		if w.direct {
+			nw.pending = append(nw.pending, a.node)
+		} else {
+			w.pend = append(w.pend, a.node)
+		}
+	}
 	if a.flit.IsHead() {
 		ivc := &rt.In[a.port][a.vc]
 		if ivc.Buf.Len() == 1 { // became front: routing decision earliest next cycle

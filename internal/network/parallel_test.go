@@ -1,0 +1,268 @@
+package network
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/message"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/routing"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/traffic"
+)
+
+// workersTweak returns a Params tweak selecting the given engine worker
+// count, wiring the AlgFactory parallel workers need. The factory rebuilds
+// the run's fault set with runTraced's stream (rng.New(41)), so clone
+// instances are configured identically to the engine's algorithm.
+func workersTweak(t *testing.T, net topology.Network, algName string, nf, workers int) func(*Params) {
+	t.Helper()
+	return func(p *Params) {
+		p.Workers = workers
+		if workers <= 1 {
+			return
+		}
+		fs := fault.NewSet(net)
+		if nf > 0 {
+			var err error
+			fs, err = fault.Random(net, nf, rng.New(41), fault.DefaultRandomOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		p.AlgFactory = func() (routing.Router, error) {
+			return routing.New(algName, net, fs, 4)
+		}
+	}
+}
+
+// TestParallelMatchesSerial is the parallel engine's determinism proof at
+// the event level: for every worker count, topology family, fault pattern
+// and routing mode, the phase-barriered engine must produce the exact same
+// trace — every injection, hop, stop, re-injection and delivery at the
+// same cycle — and the same finalised results as the serial engine on the
+// same seed. Anything weaker (comparing means) could hide commit-order
+// divergence that cancels out on average.
+func TestParallelMatchesSerial(t *testing.T) {
+	torus := func(*testing.T) topology.Network { return topology.New(8, 2) }
+	mesh := func(*testing.T) topology.Network { return topology.NewMesh(8, 2) }
+	for _, env := range []struct {
+		name string
+		net  func(*testing.T) topology.Network
+		alg  string
+		nf   int
+	}{
+		{"torus-det-faultfree", torus, "det", 0},
+		{"torus-det-faulted", torus, "det", 6},
+		{"torus-adaptive-faulted", torus, "adaptive", 6},
+		{"mesh-det-faulted", mesh, "det", 4},
+		{"mesh-adaptive-faultfree", mesh, "adaptive", 0},
+	} {
+		t.Run(env.name, func(t *testing.T) {
+			evBase, resBase := runTraced(t, env.net(t), env.alg, env.nf,
+				workersTweak(t, env.net(t), env.alg, env.nf, 1))
+			for _, w := range []int{2, 4, 8} {
+				net := env.net(t)
+				ev, res := runTraced(t, net, env.alg, env.nf,
+					workersTweak(t, net, env.alg, env.nf, w))
+				assertSameRun(t, evBase, ev, resBase, res, fmt.Sprintf("workers=%d", w))
+			}
+		})
+	}
+}
+
+// TestParallelMatchesSerialAblations crosses the parallel engine with the
+// scheduler/storage ablation bits and the timing knobs, on the two
+// environments that exercise every conditional the knobs gate (a faulted
+// mesh and a torus with a non-uniform per-link latency overlay): at
+// workers=4, every knob combination must reproduce its own serial trace.
+func TestParallelMatchesSerialAblations(t *testing.T) {
+	for _, env := range []struct {
+		name string
+		net  func(t *testing.T) topology.Network
+		alg  string
+		nf   int
+	}{
+		{"faulted-mesh", func(*testing.T) topology.Network { return topology.NewMesh(8, 2) }, "det", 4},
+		{"latmap-torus", latmapTorus, "det", 0},
+	} {
+		t.Run(env.name, func(t *testing.T) {
+			for knobs := 0; knobs < 8; knobs++ {
+				dense := knobs&1 != 0
+				denseVC := knobs&2 != 0
+				timing := knobs&4 != 0 // Td/Δ/link/credit delays + priority off
+				name := fmt.Sprintf("dense=%v,denseVC=%v,timing=%v", dense, denseVC, timing)
+				apply := func(p *Params) {
+					p.DenseScan, p.DenseVCScan = dense, denseVC
+					if timing {
+						p.Td, p.Delta = 1, 2
+						p.LinkLatency, p.CreditDelay = 2, 2
+						p.NoReinjectPriority = true
+					}
+				}
+				netS := env.net(t)
+				serialTweak := workersTweak(t, netS, env.alg, env.nf, 1)
+				evS, resS := runTraced(t, netS, env.alg, env.nf, func(p *Params) {
+					serialTweak(p)
+					apply(p)
+				})
+				netP := env.net(t)
+				parTweak := workersTweak(t, netP, env.alg, env.nf, 4)
+				evP, resP := runTraced(t, netP, env.alg, env.nf, func(p *Params) {
+					parTweak(p)
+					apply(p)
+				})
+				assertSameRun(t, evS, evP, resS, resP, name)
+			}
+		})
+	}
+}
+
+// TestParallelDrainsWorklist checks the parallel scheduler bookkeeping:
+// once the network is idle, no router may linger on the worklist, any
+// worker's pending list, or the active flags.
+func TestParallelDrainsWorklist(t *testing.T) {
+	net := topology.New(8, 2)
+	fs := fault.NewSet(net)
+	alg, err := routing.New("det", net, fs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(5)
+	gen := traffic.NewGenerator(net, fs.HealthyNodes(), 0.004, 16, alg.BaseMode(),
+		traffic.NewUniform(fs), r.Split(1))
+	col := metrics.NewCollector(0)
+	p := DefaultParams(4)
+	p.Workers = 4
+	p.AlgFactory = func() (routing.Router, error) { return routing.New("det", net, fs, 4) }
+	nw := New(net, fs, alg, gen, col, p, r.Split(2))
+	if got := nw.Workers(); got != 4 {
+		t.Fatalf("Workers() = %d, want 4", got)
+	}
+	for nw.Now() < 2000 {
+		nw.Step()
+	}
+	nw.StopGeneration()
+	for !nw.Idle() && nw.Now() < 200_000 {
+		nw.Step()
+	}
+	if !nw.Idle() {
+		t.Fatal("network did not drain")
+	}
+	n := len(nw.work) + len(nw.pending)
+	for _, w := range nw.par {
+		n += len(w.pend)
+	}
+	if n != 0 {
+		t.Fatalf("idle network still has %d routers on worklists", n)
+	}
+	for id, a := range nw.active {
+		if a {
+			t.Fatalf("idle network: router %d still flagged active", id)
+		}
+	}
+}
+
+// TestWorkersClamp checks the degenerate domain counts: Workers above the
+// node count clamps to one domain per node, and Workers <= 1 stays on the
+// serial engine with no worker pool at all.
+func TestWorkersClamp(t *testing.T) {
+	net := topology.New(2, 2) // 4 nodes
+	fs := fault.NewSet(net)
+	alg, err := routing.New("det", net, fs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(9)
+	p := DefaultParams(4)
+	p.Workers = 64
+	p.AlgFactory = func() (routing.Router, error) { return routing.New("det", net, fs, 4) }
+	nw := New(net, fs, alg, nil, metrics.NewCollector(0), p, r.Split(2))
+	if got := nw.Workers(); got != net.Nodes() {
+		t.Fatalf("Workers() = %d, want clamp to %d nodes", got, net.Nodes())
+	}
+	p.Workers = 1
+	p.AlgFactory = nil
+	nw = New(net, fs, alg, nil, metrics.NewCollector(0), p, rng.New(9).Split(2))
+	if nw.par != nil || nw.Workers() != 1 {
+		t.Fatal("Workers=1 must run the serial engine")
+	}
+}
+
+// TestParallelRequiresAlgFactory pins the construction contract: a worker
+// pool without per-worker routing instances would share decision scratch
+// across goroutines, so New must refuse it loudly.
+func TestParallelRequiresAlgFactory(t *testing.T) {
+	net := topology.New(8, 2)
+	fs := fault.NewSet(net)
+	alg, err := routing.New("det", net, fs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams(4)
+	p.Workers = 2
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Workers > 1 without AlgFactory did not panic")
+		}
+	}()
+	New(net, fs, alg, nil, metrics.NewCollector(0), p, rng.New(1).Split(2))
+}
+
+// TestParallelEnqueueDriven checks the source-less path under the worker
+// pool: caller-enqueued messages must behave identically at any worker
+// count (Enqueue feeds the serial-side pending list, which
+// beginCycleParallel merges).
+func TestParallelEnqueueDriven(t *testing.T) {
+	run := func(workers int) []trace.Event {
+		net := topology.New(8, 2)
+		fs := fault.NewSet(net)
+		alg, err := routing.New("det", net, fs, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := trace.NewRecorder()
+		p := DefaultParams(4)
+		p.Tracer = rec
+		p.Workers = workers
+		if workers > 1 {
+			p.AlgFactory = func() (routing.Router, error) { return routing.New("det", net, fs, 4) }
+		}
+		nw := New(net, fs, alg, nil, metrics.NewCollector(0), p, rng.New(3).Split(2))
+		mode := alg.BaseMode()
+		for i := 0; i < 32; i++ {
+			src := topology.NodeID(i % net.Nodes())
+			dst := topology.NodeID((i*13 + 7) % net.Nodes())
+			if src == dst {
+				dst = (dst + 1) % topology.NodeID(net.Nodes())
+			}
+			m := message.New(uint64(i), src, dst, 8, net.N(), mode, 0)
+			nw.Enqueue(src, m)
+		}
+		for !nw.Idle() && nw.Now() < 100_000 {
+			nw.Step()
+		}
+		if !nw.Idle() {
+			t.Fatal("network did not drain")
+		}
+		return rec.All()
+	}
+	base := run(1)
+	if len(base) == 0 {
+		t.Fatal("no events traced")
+	}
+	for _, w := range []int{2, 8} {
+		got := run(w)
+		if len(got) != len(base) {
+			t.Fatalf("workers=%d: event counts differ: %d vs %d", w, len(got), len(base))
+		}
+		for i := range base {
+			if base[i] != got[i] {
+				t.Fatalf("workers=%d: event %d differs:\nserial:   %+v\nparallel: %+v", w, i, base[i], got[i])
+			}
+		}
+	}
+}

@@ -166,9 +166,16 @@ func (r *Router) InjectionPort() int { return len(r.In) - 1 }
 // the receiving lane active. The engine enables it when running the
 // per-VC scheduler; the dense-VC ablation leaves it off so the old scan
 // pays none of the bookkeeping and the A/B benchmark stays honest.
+// Both worklists are pre-sized to the lane count: their growth is bounded
+// by it, and first-touch append growth spread across tens of thousands of
+// routers would otherwise show up as steady-state Step allocations long
+// after warm-up (each router allocates the first time traffic reaches it).
 func (r *Router) EnableLaneTracking() {
 	r.laneTrack = true
-	r.laneActive = make([]bool, len(r.In)*r.v)
+	n := len(r.In) * r.v
+	r.laneActive = make([]bool, n)
+	r.lanes = make([]Lane, 0, n)
+	r.lanePending = make([]Lane, 0, n)
 }
 
 // LanePortVC decodes a lane id into its (port, vc) pair.
