@@ -1,0 +1,64 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// figChurn measures routing under dynamic faults: the same 8-ary 2-cube
+// swept across λ while an MTBF/MTTR renewal process fails and heals
+// components mid-run (repair time fixed at a tenth of the failure
+// interval). The latency table shows the cost of churn; the chaos rows
+// below it report how the network absorbed it — transitions applied,
+// worms re-injected or lost, mean rerouting convergence time and the
+// worst availability window.
+func (h *harness) figChurn() {
+	type level struct {
+		name string
+		spec string
+	}
+	levels := []level{
+		{"static", ""},
+		{"mtbf 50k", "mtbf:mtbf=50000,mttr=5000"},
+		{"mtbf 20k", "mtbf:mtbf=20000,mttr=2000"},
+		{"mtbf 10k", "mtbf:mtbf=10000,mttr=1000"},
+		{"mtbf 5k", "mtbf:mtbf=5000,mttr=500"},
+	}
+	grid := h.lambdaGrid(4)
+	label := func(lv level, l float64) string { return fmt.Sprintf("churn|%s|l%g", lv.name, l) }
+	var points []core.Point
+	for _, lv := range levels {
+		for _, l := range grid {
+			cfg := h.base(8, 2, l)
+			cfg.Algorithm = "adaptive"
+			cfg.FaultSchedule = lv.spec
+			points = append(points, core.Point{Label: label(lv, l), Config: cfg})
+		}
+	}
+	res := h.run("Churn", points)
+	cols := make([]string, len(levels))
+	for i, lv := range levels {
+		cols[i] = lv.name
+	}
+	rows := make([]string, len(grid))
+	for i, l := range grid {
+		rows[i] = fmt.Sprintf("%g", l)
+	}
+	printTable("Churn: mean latency vs fault churn (adaptive, 8-ary 2-cube, V=4; * = saturated)",
+		cols, rows, func(ri, ci int) string { return latencyCell(res[label(levels[ci], grid[ri])]) })
+
+	mid := grid[len(grid)/2]
+	fmt.Printf("\nchaos metrics at λ=%g:\n", mid)
+	fmt.Println("level,transitions,reinjected,lost,mean_convergence,min_availability")
+	for _, lv := range levels[1:] {
+		r := res[label(lv, mid)]
+		if r.Err != nil {
+			fmt.Printf("%s,err\n", lv.name)
+			continue
+		}
+		m := r.Results
+		fmt.Printf("%s,%d,%d,%d,%.1f,%.4f\n",
+			lv.name, m.Transitions, m.Reinjected, m.Lost, m.MeanConvergence, m.MinAvailability)
+	}
+}

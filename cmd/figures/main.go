@@ -40,7 +40,7 @@ import (
 
 func main() {
 	var (
-		fig        = flag.String("fig", "all", "figure to regenerate: 1|3|4|5|6|7|ext|sat|all")
+		fig        = flag.String("fig", "all", "figure to regenerate: 1|3|4|5|6|7|ext|sat|churn|all")
 		scale      = flag.String("scale", "default", "measurement scale: quick|default|full")
 		workers    = flag.Int("workers", 0, "sweep workers (0 = GOMAXPROCS)")
 		seeds      = flag.Int("seeds", 3, "random fault placements averaged across figures")
@@ -100,6 +100,8 @@ func main() {
 		h.figExt()
 	case "sat":
 		h.figSat()
+	case "churn":
+		h.figChurn()
 	case "all":
 		h.fig1()
 		h.fig3()
@@ -109,6 +111,7 @@ func main() {
 		h.fig7()
 		h.figExt()
 		h.figSat()
+		h.figChurn()
 	default:
 		fmt.Fprintf(os.Stderr, "figures: unknown figure %q\n", *fig)
 		os.Exit(2)

@@ -17,6 +17,15 @@
 //	swsim -k 8 -n 2 -v 4 -m 32 -traffic 'replay:file=w.csv'
 //	swsim -k 8 -n 2 -v 10 -m 32 -lambda 0.012 -shape U -warmup 10000 -measure 90000
 //	swsim -topo torus:k=32,n=3 -v 4 -lambda 0.0005 -engine-workers 4
+//	swsim -k 8 -n 2 -v 4 -lambda 0.004 -faults-schedule 'mtbf:mtbf=20000,mttr=2000'
+//	swsim -k 8 -n 2 -v 4 -lambda 0.004 -faults-schedule 'trace:file=events.csv'
+//
+// -faults-schedule makes the run dynamic: fail/heal transitions from the
+// schedule registry apply mid-run on top of -faults, and a second CSV row
+// reports the chaos metrics (transitions, re-injections, losses, mean
+// rerouting convergence, minimum windowed availability). Dynamic runs
+// keep the determinism contract: results are bit-identical at every
+// -engine-workers width.
 //
 // -engine-workers splits one simulation's routers across a phase-barriered
 // worker pool; results are bit-identical at every width. The default
@@ -75,6 +84,7 @@ func main() {
 		list     = flag.Bool("list", false, "list registered topologies, algorithms, patterns and sources, then exit")
 		faults   = flag.Int("faults", 0, "random faulty nodes")
 		shape    = flag.String("shape", "", "fault region shape: rect|T|plus|L|U (Fig. 5 configurations)")
+		sched    = flag.String("faults-schedule", "", "dynamic fault schedule spec: trace:file=<f> or mtbf:mtbf=<c>,mttr=<c> (see -list)")
 		pattern  = flag.String("pattern", "uniform", "destination pattern spec (see -list)")
 		traf     = flag.String("traffic", "poisson", "arrival process spec (see -list)")
 		wlOut    = flag.String("workload-out", "", "capture the generated workload to this CSV file (replay with -traffic 'replay:file=...')")
@@ -132,6 +142,7 @@ func main() {
 	cfg.Delta = *delta
 	cfg.Seed = *seed
 	cfg.Faults.RandomNodes = *faults
+	cfg.FaultSchedule = *sched
 	if *shape != "" {
 		spec, ok := fig5Shape(*shape)
 		if !ok {
@@ -279,6 +290,12 @@ func main() {
 		fmt.Println(csvHeader)
 	}
 	fmt.Println(csvRow(*lambda, res))
+	if cfg.FaultSchedule != "" {
+		if !*quiet {
+			fmt.Println(chaosHeader)
+		}
+		fmt.Println(chaosRow(res))
+	}
 }
 
 // startProfiles begins CPU profiling and arranges the end-of-run heap
@@ -334,6 +351,16 @@ func csvRow(lambda float64, res metrics.Results) string {
 	return fmt.Sprintf("%g,%.2f,%.2f,%.0f,%.0f,%.0f,%.6f,%.4f,%d,%d,%d,%v",
 		lambda, res.MeanLatency, res.LatencyCI95, res.P50, res.P95, res.P99,
 		res.Throughput, res.AcceptedFraction, res.Delivered, res.QueuedFault, res.QueuedVia, res.Saturated)
+}
+
+// chaosHeader and chaosRow report the dynamic-fault metrics of a
+// scheduled run as a second CSV row. Like the main row the values are a
+// pure function of Results, so worker-count comparisons diff clean.
+const chaosHeader = "transitions,reinjected,lost,mean_convergence,min_availability"
+
+func chaosRow(res metrics.Results) string {
+	return fmt.Sprintf("%d,%d,%d,%.1f,%.4f",
+		res.Transitions, res.Reinjected, res.Lost, res.MeanConvergence, res.MinAvailability)
 }
 
 // parseGrid parses the -sweep argument: either an explicit comma list

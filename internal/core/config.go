@@ -103,6 +103,12 @@ type Config struct {
 	CaptureWorkload *trace.Workload `json:"-"`
 	// Faults is the fault configuration.
 	Faults FaultSpec
+	// FaultSchedule makes the run dynamic: a schedule spec from the fault
+	// registry ("trace:file=events.csv", "mtbf:mtbf=20000,mttr=2000")
+	// applying fail/heal transitions mid-run on top of Faults. Empty means
+	// static faults (the paper's model). Part of the experiment description
+	// and of sweep identity; results stay bit-identical across Workers.
+	FaultSchedule string
 	// WarmupMessages are generated-but-unmeasured messages (paper: 10,000).
 	WarmupMessages int
 	// MeasureMessages is the measured delivery quota ending the run
@@ -294,6 +300,13 @@ func (c Config) Validate() error {
 	if err := c.validateWorkload(net); err != nil {
 		return err
 	}
+	if c.FaultSchedule != "" {
+		// Static checks only (registered name, well-formed parameters); a
+		// trace file's contents are validated when the engine is built.
+		if _, err := fault.CheckScheduleSpec(c.FaultSchedule); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+	}
 	return c.validateFaults(net)
 }
 
@@ -423,7 +436,7 @@ func (c Config) saturationBacklog(nodes int) int {
 }
 
 // MinDomainNodes is the smallest per-domain router count AutoWorkers
-/// considers worth a worker: below a few hundred routers the per-cycle
+// considers worth a worker: below a few hundred routers the per-cycle
 // barrier and mailbox bookkeeping outweighs the parallel phase work.
 const MinDomainNodes = 256
 

@@ -3,6 +3,7 @@ package core
 import (
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -175,7 +176,7 @@ func TestRunDeterministicAcrossCalls(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r1 != r2 {
+	if !reflect.DeepEqual(r1, r2) {
 		t.Fatalf("same config, different results:\n%+v\n%+v", r1, r2)
 	}
 }
@@ -200,7 +201,7 @@ func TestSweepMatchesSerialAndParallel(t *testing.T) {
 		if serial[i].Err != nil || parallel[i].Err != nil {
 			t.Fatalf("sweep error: %v / %v", serial[i].Err, parallel[i].Err)
 		}
-		if serial[i].Results != parallel[i].Results {
+		if !reflect.DeepEqual(serial[i].Results, parallel[i].Results) {
 			t.Fatalf("point %d differs between serial and parallel", i)
 		}
 	}

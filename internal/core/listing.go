@@ -5,16 +5,17 @@ import (
 	"io"
 	"strings"
 
+	"repro/internal/fault"
 	"repro/internal/routing"
 	"repro/internal/topology"
 	"repro/internal/traffic"
 )
 
-// PrintRegistries writes the four registry sections shared by the CLIs'
-// -list output: topologies, routing algorithms, destination patterns and
-// arrival sources. prefix qualifies the pattern/traffic flag names in the
-// section headers for commands (swtrace) that do not take those flags
-// themselves.
+// PrintRegistries writes the five registry sections shared by the CLIs'
+// -list output: topologies, routing algorithms, destination patterns,
+// arrival sources and fault schedules. prefix qualifies the
+// pattern/traffic flag names in the section headers for commands
+// (swtrace) that do not take those flags themselves.
 func PrintRegistries(w io.Writer, prefix string) {
 	fmt.Fprintln(w, "topologies (-topo):")
 	for _, info := range topology.Topologies() {
@@ -36,5 +37,9 @@ func PrintRegistries(w io.Writer, prefix string) {
 	fmt.Fprintf(w, "\narrival sources (%s-traffic):\n", prefix)
 	for _, info := range traffic.Sources() {
 		fmt.Fprintf(w, "  %-52s %s\n", info.Usage, info.Description)
+	}
+	fmt.Fprintf(w, "\nfault schedules (%s-faults-schedule):\n", prefix)
+	for _, info := range fault.Schedules() {
+		fmt.Fprintf(w, "  %-44s %s\n", info.Usage, info.Description)
 	}
 }

@@ -77,6 +77,12 @@ func buildWorkload(c Config, t topology.Network, fs *fault.Set, mode message.Mod
 	return src, nil
 }
 
+// chaosWindow is the availability/convergence window length (cycles) for
+// scheduled runs. Coarse enough that a window holds a statistically useful
+// number of deliveries at moderate load, fine enough to resolve recovery
+// after a transition. Static runs never open windows.
+const chaosWindow = 1000
+
 // Engine is one fully constructed simulation point that the caller steps
 // explicitly. Run remains the one-shot façade; the steppable form exists
 // for callers that must separate construction from execution — benchmarks
@@ -159,7 +165,23 @@ func NewEngine(c Config) (*Engine, error) {
 			return a, nil
 		}
 	}
-	nw := network.New(t, fs, alg, gen, col, params, r.Split(2))
+	// The engine stream MUST split before the schedule stream: Split
+	// advances the parent, so deriving the schedule stream first would
+	// silently shift the engine's (and every router's) draw sequence and
+	// break static-run reproducibility. With this order a schedule-free
+	// config draws identically whether or not the schedule layer exists.
+	engineStream := r.Split(2)
+	if c.FaultSchedule != "" {
+		sched, err := fault.NewSchedule(c.FaultSchedule, fault.ScheduleEnv{
+			T: t, Base: fs, R: r.Split(rng.ScheduleLabel()),
+		})
+		if err != nil {
+			return nil, err
+		}
+		params.Schedule = sched
+		col.EnableWindows(chaosWindow)
+	}
+	nw := network.New(t, fs, alg, gen, col, params, engineStream)
 	return &Engine{
 		nw:           nw,
 		col:          col,

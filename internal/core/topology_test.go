@@ -1,6 +1,7 @@
 package core
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -29,7 +30,7 @@ func TestTopologySpecDefaultsToLegacyTorus(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if resLegacy != resSpec {
+	if !reflect.DeepEqual(resLegacy, resSpec) {
 		t.Fatalf("legacy K/N and explicit spec runs differ:\nlegacy: %+v\nspec:   %+v", resLegacy, resSpec)
 	}
 }

@@ -24,9 +24,12 @@ import (
 // exist at all (edge port) also reports faulty: "unusable" is the single
 // property routing needs, whether the cause is a failure or a missing wire.
 //
-// Sets are built once before a simulation starts and are immutable during
-// the run (static fault model, MTTR >> simulation horizon), so all query
-// methods are safe for concurrent readers.
+// Sets are built once before a simulation starts and, in the paper's static
+// fault model (MTTR >> simulation horizon), never change afterwards, so all
+// query methods are safe for concurrent readers. Dynamic-fault runs mutate
+// a Set through a View (see view.go), which the engine drives only at the
+// serial transition point of a cycle — between cycles every reader still
+// sees a frozen Set.
 type Set struct {
 	t     topology.Network
 	node  []bool // indexed by NodeID
@@ -46,11 +49,22 @@ func NewSet(t topology.Network) *Set {
 // Net returns the topology this fault set applies to.
 func (s *Set) Net() topology.Network { return s.t }
 
-// Torus returns the topology this fault set applies to.
-//
-// Deprecated: the name predates pluggable topologies; use Net. It returns
-// the bound Network, which need not be a torus.
-func (s *Set) Torus() topology.Network { return s.t }
+// Clone returns an independent copy of the fault configuration. Schedules
+// use clones to test candidate transitions (connectivity preservation)
+// without touching the live set.
+func (s *Set) Clone() *Set {
+	c := &Set{
+		t:     s.t,
+		node:  make([]bool, len(s.node)),
+		nodes: append([]topology.NodeID(nil), s.nodes...),
+		link:  make(map[topology.ChannelID]bool, len(s.link)),
+	}
+	copy(c.node, s.node)
+	for ch := range s.link {
+		c.link[ch] = true
+	}
+	return c
+}
 
 // MarkNode marks one node (PE + router) failed. Marking twice is a no-op.
 func (s *Set) MarkNode(id topology.NodeID) {
@@ -84,8 +98,39 @@ func (s *Set) MarkLink(src topology.NodeID, port topology.Port) {
 	s.link[topology.ChannelID{Src: dst, Port: port.Opposite()}] = true
 }
 
+// healNode clears a node failure. View-only: heals apply at the engine's
+// serial transition point.
+func (s *Set) healNode(id topology.NodeID) {
+	if !s.node[id] {
+		return
+	}
+	s.node[id] = false
+	for i, n := range s.nodes {
+		if n == id {
+			s.nodes = append(s.nodes[:i], s.nodes[i+1:]...)
+			break
+		}
+	}
+}
+
+// healLink clears an individual link failure in both directions. View-only.
+func (s *Set) healLink(src topology.NodeID, port topology.Port) {
+	ch := topology.ChannelID{Src: src, Port: port}
+	if !s.link[ch] {
+		return
+	}
+	delete(s.link, ch)
+	dst := ch.Dst(s.t)
+	delete(s.link, topology.ChannelID{Src: dst, Port: port.Opposite()})
+}
+
 // NodeFaulty reports whether node id has failed.
 func (s *Set) NodeFaulty(id topology.NodeID) bool { return s.node[id] }
+
+// LinkMarked reports whether the channel itself carries an individual link
+// failure mark (endpoint node failures and missing mesh-edge wires do not
+// count; LinkFaulty folds those in).
+func (s *Set) LinkMarked(ch topology.ChannelID) bool { return s.link[ch] }
 
 // LinkFaulty reports whether the unidirectional channel leaving src through
 // port is unusable: the link does not exist (mesh edge), the link itself

@@ -1,0 +1,707 @@
+package fault
+
+// Dynamic fault schedules: time-varying fail/heal transitions over a run's
+// fault Set, selected by the same "name:key=val,..." spec grammar as the
+// topology, routing and traffic registries. Two schedules are built in:
+//
+//	trace:file=<events>     replay a CSV/JSONL event file
+//	mtbf:mtbf=<c>,mttr=<c>  generative MTBF/MTTR renewal process
+//
+// The engine calls Advance exactly once per cycle, serially, before any
+// per-router computation (see internal/network's transition point), so a
+// schedule's draws happen in the same order at every worker count — the
+// bit-identity contract extends to dynamic runs. The paper itself models
+// only static faults (MTTR >> simulation horizon); schedules relax exactly
+// that assumption and are measured by the chaos metrics in
+// internal/metrics.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+// Schedule produces the fault transitions of a dynamic run. Advance
+// returns every transition due at or before cycle now, in application
+// order; cur is the live fault state (already reflecting previously
+// returned transitions), which generative schedules consult for victim
+// selection. Advance must be called with non-decreasing now; the engine
+// calls it once per cycle from exactly one goroutine.
+type Schedule interface {
+	Advance(now int64, cur *Set) []Transition
+	Name() string
+}
+
+// ScheduleEnv is everything a schedule factory may bind: the topology, the
+// run's base (static) fault set, and the dedicated schedule rng stream
+// (rng.ScheduleLabel; nil for schedules that never draw).
+type ScheduleEnv struct {
+	T    topology.Network
+	Base *Set
+	R    *rng.Stream
+}
+
+// ScheduleSpec is a parsed schedule specifier, sharing the registry
+// grammar "name[:key=val,...]".
+type ScheduleSpec struct {
+	Name   string
+	Params []ScheduleParam
+}
+
+// ScheduleParam is one key=value pair of a ScheduleSpec, in written order.
+type ScheduleParam struct {
+	Key, Value string
+}
+
+// Get returns the value of key and whether it was present.
+func (s ScheduleSpec) Get(key string) (string, bool) {
+	for _, p := range s.Params {
+		if p.Key == key {
+			return p.Value, true
+		}
+	}
+	return "", false
+}
+
+// String renders the spec back into its parseable form.
+func (s ScheduleSpec) String() string {
+	if len(s.Params) == 0 {
+		return s.Name
+	}
+	parts := make([]string, len(s.Params))
+	for i, p := range s.Params {
+		parts[i] = p.Key + "=" + p.Value
+	}
+	return s.Name + ":" + strings.Join(parts, ",")
+}
+
+// validScheduleName reports whether s is a legal spec name or parameter
+// key: non-empty, lower-case letters, digits, '-' or '_'.
+func validScheduleName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, c := range s {
+		if (c < 'a' || c > 'z') && (c < '0' || c > '9') && c != '-' && c != '_' {
+			return false
+		}
+	}
+	return true
+}
+
+// normalizeScheduleSpec accepts the two shorthand spellings used by the
+// CLIs ("trace=events.csv", "mtbf=20000,mttr=2000") alongside the full
+// registry grammar: a spec whose head segment already contains '=' infers
+// its name from the first key, with "trace=<file>" mapping onto
+// "trace:file=<file>".
+func normalizeScheduleSpec(s string) string {
+	s = strings.TrimSpace(s)
+	head, _, _ := strings.Cut(s, ":")
+	if !strings.Contains(head, "=") {
+		return s
+	}
+	firstKey, _, _ := strings.Cut(s, "=")
+	firstKey = strings.TrimSpace(firstKey)
+	if firstKey == "trace" {
+		return "trace:file" + strings.TrimPrefix(s, firstKey)
+	}
+	return firstKey + ":" + s
+}
+
+// ParseScheduleSpec parses a "name[:key=val,...]" schedule specifier,
+// accepting the shorthand forms (see normalizeScheduleSpec).
+func ParseScheduleSpec(s string) (ScheduleSpec, error) {
+	s = normalizeScheduleSpec(s)
+	name, rest, hasParams := strings.Cut(s, ":")
+	if !validScheduleName(name) {
+		return ScheduleSpec{}, fmt.Errorf("fault: bad schedule spec name %q in %q", name, s)
+	}
+	spec := ScheduleSpec{Name: name}
+	if !hasParams {
+		return spec, nil
+	}
+	if rest == "" {
+		return ScheduleSpec{}, fmt.Errorf("fault: schedule spec %q has an empty parameter list", s)
+	}
+	seen := map[string]bool{}
+	for _, kv := range strings.Split(rest, ",") {
+		key, val, ok := strings.Cut(kv, "=")
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		if !ok || !validScheduleName(key) || val == "" {
+			return ScheduleSpec{}, fmt.Errorf("fault: bad parameter %q in schedule spec %q (want key=value)", kv, s)
+		}
+		if seen[key] {
+			return ScheduleSpec{}, fmt.Errorf("fault: duplicate parameter %q in schedule spec %q", key, s)
+		}
+		seen[key] = true
+		spec.Params = append(spec.Params, ScheduleParam{Key: key, Value: val})
+	}
+	return spec, nil
+}
+
+// scheduleArgs is the typed accessor over a spec's parameters used by
+// schedule factories, mirroring the other registries: every accessor marks
+// its key consumed and records the first error; finish reports it, or
+// complains about unconsumed keys. The static check functions share the
+// accessors so validation and construction cannot drift.
+type scheduleArgs struct {
+	spec ScheduleSpec
+	used map[string]bool
+	err  error
+}
+
+func newScheduleArgs(spec ScheduleSpec) *scheduleArgs {
+	return &scheduleArgs{spec: spec, used: make(map[string]bool, len(spec.Params))}
+}
+
+func (a *scheduleArgs) fail(format string, v ...any) {
+	if a.err == nil {
+		a.err = fmt.Errorf("fault: schedule spec %q: %s", a.spec.String(), fmt.Sprintf(format, v...))
+	}
+}
+
+// Str returns the value of key, or def when absent.
+func (a *scheduleArgs) Str(key, def string) string {
+	a.used[key] = true
+	s, ok := a.spec.Get(key)
+	if !ok {
+		return def
+	}
+	return s
+}
+
+// Float returns the value of key as a float64, or def when absent.
+func (a *scheduleArgs) Float(key string, def float64) float64 {
+	a.used[key] = true
+	s, ok := a.spec.Get(key)
+	if !ok {
+		return def
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+		a.fail("parameter %s=%q is not a finite number", key, s)
+		return def
+	}
+	return v
+}
+
+func (a *scheduleArgs) finish() error {
+	if a.err != nil {
+		return a.err
+	}
+	for _, p := range a.spec.Params {
+		if !a.used[p.Key] {
+			return fmt.Errorf("fault: schedule spec %q: unknown parameter %q", a.spec.String(), p.Key)
+		}
+	}
+	return nil
+}
+
+// ScheduleInfo describes a registered schedule for listings.
+type ScheduleInfo struct {
+	Name        string
+	Usage       string
+	Description string
+	Aliases     []string
+}
+
+// ScheduleFactory builds a configured schedule; ScheduleCheck statically
+// validates a spec's parameters without side effects (no file IO), for
+// config validation ahead of construction.
+type (
+	ScheduleFactory func(env ScheduleEnv, spec ScheduleSpec) (Schedule, error)
+	ScheduleCheck   func(spec ScheduleSpec) error
+)
+
+type schedEntry struct {
+	info    ScheduleInfo
+	factory ScheduleFactory
+	check   ScheduleCheck
+}
+
+var (
+	schedMu      sync.RWMutex
+	schedReg     = make(map[string]*schedEntry)
+	schedPrimary []string
+)
+
+// RegisterSchedule adds a schedule to the registry under info.Name and
+// every alias. It panics on duplicates or nil factories — registration
+// happens in init functions where a panic is a build-time bug.
+func RegisterSchedule(info ScheduleInfo, factory ScheduleFactory, check ScheduleCheck) {
+	if info.Name == "" {
+		panic("fault: RegisterSchedule with empty name")
+	}
+	if factory == nil {
+		panic(fmt.Sprintf("fault: RegisterSchedule(%q) with nil factory", info.Name))
+	}
+	schedMu.Lock()
+	defer schedMu.Unlock()
+	e := &schedEntry{info: info, factory: factory, check: check}
+	for _, key := range append([]string{info.Name}, info.Aliases...) {
+		if _, dup := schedReg[key]; dup {
+			panic(fmt.Sprintf("fault: duplicate registration of schedule %q", key))
+		}
+		schedReg[key] = e
+	}
+	schedPrimary = append(schedPrimary, info.Name)
+}
+
+// NewSchedule builds the registered schedule the spec names.
+func NewSchedule(spec string, env ScheduleEnv) (Schedule, error) {
+	parsed, e, err := lookupSchedule(spec)
+	if err != nil {
+		return nil, err
+	}
+	return e.factory(env, parsed)
+}
+
+// CheckScheduleSpec statically validates a schedule spec: parseable, a
+// registered name, well-formed parameters. It performs no IO (a trace
+// file's contents are validated at construction).
+func CheckScheduleSpec(spec string) (ScheduleSpec, error) {
+	parsed, e, err := lookupSchedule(spec)
+	if err != nil {
+		return ScheduleSpec{}, err
+	}
+	if e.check != nil {
+		if err := e.check(parsed); err != nil {
+			return ScheduleSpec{}, err
+		}
+	}
+	return parsed, nil
+}
+
+func lookupSchedule(spec string) (ScheduleSpec, *schedEntry, error) {
+	parsed, err := ParseScheduleSpec(spec)
+	if err != nil {
+		return ScheduleSpec{}, nil, err
+	}
+	schedMu.RLock()
+	e, ok := schedReg[parsed.Name]
+	schedMu.RUnlock()
+	if !ok {
+		return ScheduleSpec{}, nil, fmt.Errorf("fault: unknown schedule %q (registered: %v)", parsed.Name, ScheduleNames())
+	}
+	return parsed, e, nil
+}
+
+// ScheduleNames returns the primary registered schedule names, sorted.
+func ScheduleNames() []string {
+	schedMu.RLock()
+	defer schedMu.RUnlock()
+	out := append([]string(nil), schedPrimary...)
+	sort.Strings(out)
+	return out
+}
+
+// Schedules returns the ScheduleInfo of every registered schedule, sorted
+// by primary name.
+func Schedules() []ScheduleInfo {
+	schedMu.RLock()
+	out := make([]ScheduleInfo, 0, len(schedPrimary))
+	for _, name := range schedPrimary {
+		out = append(out, schedReg[name].info)
+	}
+	schedMu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// traceSchedule replays a pre-validated, cycle-sorted transition list.
+type traceSchedule struct {
+	evs []Transition
+	pos int
+}
+
+func (s *traceSchedule) Name() string { return "trace" }
+
+func (s *traceSchedule) Advance(now int64, _ *Set) []Transition {
+	start := s.pos
+	for s.pos < len(s.evs) && s.evs[s.pos].Cycle <= now {
+		s.pos++
+	}
+	if s.pos == start {
+		return nil
+	}
+	return s.evs[start:s.pos]
+}
+
+// NewTraceSchedule wraps an explicit transition list (already sorted by
+// cycle, as ParseScheduleTrace guarantees) as a Schedule. Exposed for
+// tests and tools that build transition lists programmatically.
+func NewTraceSchedule(evs []Transition) Schedule {
+	return &traceSchedule{evs: evs}
+}
+
+// ParseScheduleTrace reads a fault-transition event file and validates it
+// against the topology. Two line formats may be mixed freely:
+//
+//	CSV:    cycle,fail|heal,node,<id>
+//	        cycle,fail|heal,link,<src>,<port>
+//	JSONL:  {"cycle":N,"op":"fail","elem":"node","id":5}
+//	        {"cycle":N,"op":"heal","elem":"link","src":3,"port":1}
+//
+// Blank lines and '#' comments are skipped. Cycles must be >= 0 and
+// non-decreasing; node ids must be in range; link channels must exist on
+// the topology. Violations are reported as errors with line numbers —
+// never panics — so untrusted trace files fail closed.
+func ParseScheduleTrace(r io.Reader, t topology.Network) ([]Transition, error) {
+	var out []Transition
+	sc := bufio.NewScanner(r)
+	lastCycle := int64(-1)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var tr Transition
+		var err error
+		if strings.HasPrefix(line, "{") {
+			tr, err = parseTraceJSON(line, t)
+		} else {
+			tr, err = parseTraceCSV(line, t)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("fault: schedule trace line %d: %w", lineNo, err)
+		}
+		if tr.Cycle < lastCycle {
+			return nil, fmt.Errorf("fault: schedule trace line %d: cycle %d out of order (previous %d)", lineNo, tr.Cycle, lastCycle)
+		}
+		lastCycle = tr.Cycle
+		out = append(out, tr)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("fault: schedule trace: %w", err)
+	}
+	return out, nil
+}
+
+func parseTraceOp(op string) (fail bool, err error) {
+	switch op {
+	case "fail":
+		return true, nil
+	case "heal":
+		return false, nil
+	}
+	return false, fmt.Errorf("bad op %q (want fail|heal)", op)
+}
+
+func traceNode(t topology.Network, id int64) (topology.NodeID, error) {
+	if id < 0 || id >= int64(t.Nodes()) {
+		return 0, fmt.Errorf("node id %d out of range [0,%d)", id, t.Nodes())
+	}
+	return topology.NodeID(id), nil
+}
+
+func traceLink(t topology.Network, src, port int64) (topology.ChannelID, error) {
+	if src < 0 || src >= int64(t.Nodes()) {
+		return topology.ChannelID{}, fmt.Errorf("link source %d out of range [0,%d)", src, t.Nodes())
+	}
+	if port < 0 || port >= int64(t.Degree()) {
+		return topology.ChannelID{}, fmt.Errorf("link port %d out of range [0,%d)", port, t.Degree())
+	}
+	p := topology.Port(port)
+	if !t.HasLink(topology.NodeID(src), p.Dim(), p.Dir()) {
+		return topology.ChannelID{}, fmt.Errorf("link %v does not exist on %s",
+			topology.ChannelID{Src: topology.NodeID(src), Port: p}, t)
+	}
+	return topology.ChannelID{Src: topology.NodeID(src), Port: p}, nil
+}
+
+func parseTraceCSV(line string, t topology.Network) (Transition, error) {
+	fields := strings.Split(line, ",")
+	for i := range fields {
+		fields[i] = strings.TrimSpace(fields[i])
+	}
+	if len(fields) < 4 {
+		return Transition{}, fmt.Errorf("torn record %q (want cycle,op,node,<id> or cycle,op,link,<src>,<port>)", line)
+	}
+	cycle, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil || cycle < 0 {
+		return Transition{}, fmt.Errorf("bad cycle %q", fields[0])
+	}
+	fail, err := parseTraceOp(fields[1])
+	if err != nil {
+		return Transition{}, err
+	}
+	tr := Transition{Cycle: cycle, Fail: fail}
+	switch fields[2] {
+	case "node":
+		if len(fields) != 4 {
+			return Transition{}, fmt.Errorf("node record %q has %d fields (want 4)", line, len(fields))
+		}
+		id, err := strconv.ParseInt(fields[3], 10, 64)
+		if err != nil {
+			return Transition{}, fmt.Errorf("bad node id %q", fields[3])
+		}
+		tr.Node, err = traceNode(t, id)
+		if err != nil {
+			return Transition{}, err
+		}
+	case "link":
+		if len(fields) != 5 {
+			return Transition{}, fmt.Errorf("link record %q has %d fields (want 5)", line, len(fields))
+		}
+		src, err1 := strconv.ParseInt(fields[3], 10, 64)
+		port, err2 := strconv.ParseInt(fields[4], 10, 64)
+		if err1 != nil || err2 != nil {
+			return Transition{}, fmt.Errorf("bad link endpoint in %q", line)
+		}
+		tr.IsLink = true
+		tr.Link, err = traceLink(t, src, port)
+		if err != nil {
+			return Transition{}, err
+		}
+	default:
+		return Transition{}, fmt.Errorf("bad element %q (want node|link)", fields[2])
+	}
+	return tr, nil
+}
+
+func parseTraceJSON(line string, t topology.Network) (Transition, error) {
+	var rec struct {
+		Cycle *int64 `json:"cycle"`
+		Op    string `json:"op"`
+		Elem  string `json:"elem"`
+		ID    *int64 `json:"id"`
+		Src   *int64 `json:"src"`
+		Port  *int64 `json:"port"`
+	}
+	dec := json.NewDecoder(strings.NewReader(line))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rec); err != nil {
+		return Transition{}, fmt.Errorf("bad JSON record: %v", err)
+	}
+	if rec.Cycle == nil || *rec.Cycle < 0 {
+		return Transition{}, fmt.Errorf("missing or negative cycle")
+	}
+	fail, err := parseTraceOp(rec.Op)
+	if err != nil {
+		return Transition{}, err
+	}
+	tr := Transition{Cycle: *rec.Cycle, Fail: fail}
+	switch rec.Elem {
+	case "node":
+		if rec.ID == nil {
+			return Transition{}, fmt.Errorf("node record missing id")
+		}
+		tr.Node, err = traceNode(t, *rec.ID)
+		if err != nil {
+			return Transition{}, err
+		}
+	case "link":
+		if rec.Src == nil || rec.Port == nil {
+			return Transition{}, fmt.Errorf("link record missing src/port")
+		}
+		tr.IsLink = true
+		tr.Link, err = traceLink(t, *rec.Src, *rec.Port)
+		if err != nil {
+			return Transition{}, err
+		}
+	default:
+		return Transition{}, fmt.Errorf("bad element %q (want node|link)", rec.Elem)
+	}
+	return tr, nil
+}
+
+// Victim-element selection modes of the mtbf schedule.
+const (
+	elemsLinks = "links"
+	elemsNodes = "nodes"
+	elemsMixed = "mixed"
+)
+
+// mtbfSchedule is a generative renewal process: failures arrive with
+// exponential inter-arrival times of mean mtbf cycles; each failed element
+// heals after an exponential repair time of mean mttr cycles. Victims are
+// drawn uniformly from the currently healthy elements, rejecting picks
+// that would disconnect the healthy sub-network (the dynamic analogue of
+// paper assumption (h)); a failure with no admissible victim is skipped.
+// All draws happen inside Advance — the engine's serial transition point —
+// from the dedicated schedule stream, so the process is deterministic for
+// a seed at any worker count.
+type mtbfSchedule struct {
+	t        topology.Network
+	r        *rng.Stream
+	mtbf     float64
+	mttr     float64
+	elems    string
+	nextFail int64
+	heals    []Transition // pending repairs, ascending cycle
+	out      []Transition
+}
+
+func (s *mtbfSchedule) Name() string { return "mtbf" }
+
+func (s *mtbfSchedule) gap(mean float64) int64 {
+	g := int64(math.Ceil(s.r.Exp(mean)))
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+func (s *mtbfSchedule) Advance(now int64, cur *Set) []Transition {
+	s.out = s.out[:0]
+	for {
+		healDue := len(s.heals) > 0 && s.heals[0].Cycle <= now
+		failDue := s.nextFail <= now
+		switch {
+		// Repairs before failures at the same cycle: healing first can only
+		// widen the victim pool the same-batch failure draws from.
+		case healDue && (!failDue || s.heals[0].Cycle <= s.nextFail):
+			s.out = append(s.out, s.heals[0])
+			s.heals = s.heals[1:]
+		case failDue:
+			at := s.nextFail
+			if tr, ok := s.pickVictim(at, cur); ok {
+				s.out = append(s.out, tr)
+				s.scheduleHeal(tr)
+			}
+			s.nextFail = at + s.gap(s.mtbf)
+		default:
+			return s.out
+		}
+	}
+}
+
+// pickVictim draws a healthy element whose failure keeps the healthy
+// sub-network connected. Bounded rejection sampling: a pathological state
+// (almost everything down) skips the failure rather than looping.
+func (s *mtbfSchedule) pickVictim(at int64, cur *Set) (Transition, bool) {
+	for attempt := 0; attempt < 64; attempt++ {
+		link := s.elems == elemsLinks || (s.elems == elemsMixed && s.r.Bool())
+		if link {
+			src := topology.NodeID(s.r.Intn(s.t.Nodes()))
+			port := topology.Port(s.r.Intn(s.t.Degree()))
+			if cur.NodeFaulty(src) || !s.t.HasLink(src, port.Dim(), port.Dir()) {
+				continue
+			}
+			ch := topology.ChannelID{Src: src, Port: port}
+			if cur.LinkMarked(ch) || cur.NodeFaulty(ch.Dst(s.t)) {
+				continue
+			}
+			probe := cur.Clone()
+			probe.MarkLink(src, port)
+			if probe.Disconnects() {
+				continue
+			}
+			return Transition{Cycle: at, Fail: true, IsLink: true, Link: ch}, true
+		}
+		id := topology.NodeID(s.r.Intn(s.t.Nodes()))
+		if cur.NodeFaulty(id) {
+			continue
+		}
+		probe := cur.Clone()
+		probe.MarkNode(id)
+		if probe.Disconnects() {
+			continue
+		}
+		return Transition{Cycle: at, Fail: true, Node: id}, true
+	}
+	return Transition{}, false
+}
+
+// scheduleHeal inserts the repair of a just-failed element into the
+// pending-heal list at its due position (stable on ties).
+func (s *mtbfSchedule) scheduleHeal(failed Transition) {
+	heal := failed
+	heal.Fail = false
+	heal.Cycle = failed.Cycle + s.gap(s.mttr)
+	i := sort.Search(len(s.heals), func(i int) bool { return s.heals[i].Cycle > heal.Cycle })
+	s.heals = append(s.heals, Transition{})
+	copy(s.heals[i+1:], s.heals[i:])
+	s.heals[i] = heal
+	return
+}
+
+func mtbfArgs(spec ScheduleSpec) (mtbf, mttr float64, elems string, err error) {
+	a := newScheduleArgs(spec)
+	mtbf = a.Float("mtbf", 0)
+	mttr = a.Float("mttr", 0)
+	elems = a.Str("elems", elemsLinks)
+	if err := a.finish(); err != nil {
+		return 0, 0, "", err
+	}
+	if mtbf <= 0 {
+		return 0, 0, "", fmt.Errorf("fault: schedule spec %q: mtbf must be a positive cycle count", spec.String())
+	}
+	if mttr <= 0 {
+		return 0, 0, "", fmt.Errorf("fault: schedule spec %q: mttr must be a positive cycle count", spec.String())
+	}
+	switch elems {
+	case elemsLinks, elemsNodes, elemsMixed:
+	default:
+		return 0, 0, "", fmt.Errorf("fault: schedule spec %q: elems must be links|nodes|mixed, got %q", spec.String(), elems)
+	}
+	return mtbf, mttr, elems, nil
+}
+
+func init() {
+	RegisterSchedule(ScheduleInfo{
+		Name:        "trace",
+		Usage:       "trace:file=<events> (or trace=<events>)",
+		Description: "replay fail/heal events from a CSV/JSONL file (cycle,fail|heal,node,<id> / ...,link,<src>,<port>)",
+	}, func(env ScheduleEnv, spec ScheduleSpec) (Schedule, error) {
+		a := newScheduleArgs(spec)
+		file := a.Str("file", "")
+		if err := a.finish(); err != nil {
+			return nil, err
+		}
+		if file == "" {
+			return nil, fmt.Errorf("fault: schedule spec %q: missing file parameter", spec.String())
+		}
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, fmt.Errorf("fault: schedule trace: %w", err)
+		}
+		defer f.Close()
+		evs, err := ParseScheduleTrace(f, env.T)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", file, err)
+		}
+		return NewTraceSchedule(evs), nil
+	}, func(spec ScheduleSpec) error {
+		a := newScheduleArgs(spec)
+		file := a.Str("file", "")
+		if err := a.finish(); err != nil {
+			return err
+		}
+		if file == "" {
+			return fmt.Errorf("fault: schedule spec %q: missing file parameter", spec.String())
+		}
+		return nil
+	})
+	RegisterSchedule(ScheduleInfo{
+		Name:        "mtbf",
+		Usage:       "mtbf:mtbf=<cycles>,mttr=<cycles>[,elems=links|nodes|mixed]",
+		Description: "generative renewal process: exponential failures (mean mtbf) healing after exponential repairs (mean mttr), connectivity-preserving",
+	}, func(env ScheduleEnv, spec ScheduleSpec) (Schedule, error) {
+		mtbf, mttr, elems, err := mtbfArgs(spec)
+		if err != nil {
+			return nil, err
+		}
+		if env.R == nil {
+			return nil, fmt.Errorf("fault: mtbf schedule needs an rng stream (ScheduleEnv.R)")
+		}
+		s := &mtbfSchedule{t: env.T, r: env.R, mtbf: mtbf, mttr: mttr, elems: elems}
+		s.nextFail = s.gap(mtbf)
+		return s, nil
+	}, func(spec ScheduleSpec) error {
+		_, _, _, err := mtbfArgs(spec)
+		return err
+	})
+}

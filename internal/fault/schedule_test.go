@@ -1,0 +1,264 @@
+package fault
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+func TestParseScheduleSpecNormalization(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		name string
+		want map[string]string
+	}{
+		{"trace:file=events.csv", "trace", map[string]string{"file": "events.csv"}},
+		{"trace=events.csv", "trace", map[string]string{"file": "events.csv"}},
+		{"mtbf:mtbf=20000,mttr=2000", "mtbf", map[string]string{"mtbf": "20000", "mttr": "2000"}},
+		{"mtbf=20000,mttr=2000", "mtbf", map[string]string{"mtbf": "20000", "mttr": "2000"}},
+	} {
+		spec, err := ParseScheduleSpec(tc.in)
+		if err != nil {
+			t.Fatalf("ParseScheduleSpec(%q): %v", tc.in, err)
+		}
+		if spec.Name != tc.name {
+			t.Fatalf("ParseScheduleSpec(%q).Name = %q, want %q", tc.in, spec.Name, tc.name)
+		}
+		for k, v := range tc.want {
+			if got, ok := spec.Get(k); !ok || got != v {
+				t.Fatalf("ParseScheduleSpec(%q): param %s = %q/%v, want %q", tc.in, k, got, ok, v)
+			}
+		}
+	}
+	for _, bad := range []string{"", "Trace:file=x", "mtbf:", "mtbf:mtbf", "mtbf:mtbf=1,mtbf=2", "mtbf:=3"} {
+		if _, err := ParseScheduleSpec(bad); err == nil {
+			t.Fatalf("ParseScheduleSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestCheckScheduleSpec(t *testing.T) {
+	for _, good := range []string{"trace:file=x.csv", "mtbf:mtbf=100,mttr=10", "mtbf:mtbf=100,mttr=10,elems=mixed"} {
+		if _, err := CheckScheduleSpec(good); err != nil {
+			t.Fatalf("CheckScheduleSpec(%q): %v", good, err)
+		}
+	}
+	for _, bad := range []string{
+		"bogus:x=1",                     // unregistered name
+		"trace",                         // missing file
+		"mtbf:mtbf=100",                 // missing mttr
+		"mtbf:mtbf=0,mttr=10",           // non-positive mtbf
+		"mtbf:mtbf=100,mttr=-1",         // non-positive mttr
+		"mtbf:mtbf=100,mttr=10,elems=x", // bad victim class
+		"mtbf:mtbf=100,mttr=10,bogus=1", // unconsumed key
+		"trace:file=x.csv,unexpected=1", // unconsumed key
+	} {
+		if _, err := CheckScheduleSpec(bad); err == nil {
+			t.Fatalf("CheckScheduleSpec(%q) accepted", bad)
+		}
+	}
+	// The static check must not touch the filesystem: a trace spec naming a
+	// nonexistent file passes CheckScheduleSpec (IO happens in NewSchedule).
+	if _, err := CheckScheduleSpec("trace:file=/definitely/not/there.csv"); err != nil {
+		t.Fatalf("CheckScheduleSpec must stay IO-free: %v", err)
+	}
+	if _, err := NewSchedule("trace:file=/definitely/not/there.csv", ScheduleEnv{T: topology.New(4, 2)}); err == nil {
+		t.Fatal("NewSchedule accepted a nonexistent trace file")
+	}
+}
+
+func TestParseScheduleTrace(t *testing.T) {
+	tor := topology.New(4, 2)
+	in := strings.Join([]string{
+		"# mixed CSV and JSONL, comments and blanks skipped",
+		"",
+		"100,fail,node,5",
+		"150,fail,link,3,1",
+		`{"cycle":200,"op":"heal","elem":"node","id":5}`,
+		`{"cycle":220,"op":"heal","elem":"link","src":3,"port":1}`,
+	}, "\n")
+	evs, err := ParseScheduleTrace(strings.NewReader(in), tor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Transition{
+		{Cycle: 100, Fail: true, Node: 5},
+		{Cycle: 150, Fail: true, IsLink: true, Link: topology.ChannelID{Src: 3, Port: 1}},
+		{Cycle: 200, Node: 5},
+		{Cycle: 220, IsLink: true, Link: topology.ChannelID{Src: 3, Port: 1}},
+	}
+	if !reflect.DeepEqual(evs, want) {
+		t.Fatalf("parsed %+v, want %+v", evs, want)
+	}
+	for _, bad := range []string{
+		"100,fail,node",                                      // torn record
+		"100,fail,node,99",                                   // node out of range
+		"100,fail,link,3,9",                                  // port out of range
+		"100,fail,link,3",                                    // torn link record
+		"100,explode,node,5",                                 // bad op
+		"-5,fail,node,1",                                     // negative cycle
+		"200,fail,node,1\n100,fail,node,2",                   // out-of-order cycles
+		`{"cycle":100,"op":"fail","elem":"node"}`,            // missing id
+		`{"cycle":100,"op":"fail","elem":"node","id":1,`,     // torn JSON
+		`{"op":"fail","elem":"node","id":1}`,                 // missing cycle
+		`{"cycle":1,"op":"fail","elem":"node","id":1,"x":2}`, // unknown field
+	} {
+		if _, err := ParseScheduleTrace(strings.NewReader(bad), tor); err == nil {
+			t.Fatalf("ParseScheduleTrace accepted %q", bad)
+		}
+	}
+	// Mesh edge channels do not exist and must be rejected, not panic.
+	msh := topology.NewMesh(4, 2)
+	if _, err := ParseScheduleTrace(strings.NewReader("5,fail,link,3,0"), msh); err == nil {
+		t.Fatal("ParseScheduleTrace accepted a nonexistent mesh edge link")
+	}
+}
+
+// FuzzParseScheduleTrace hardens the trace parser against untrusted
+// input: any byte soup must come back as an error or a well-formed,
+// cycle-ordered transition list — never a panic.
+func FuzzParseScheduleTrace(f *testing.F) {
+	f.Add("100,fail,node,5\n200,heal,node,5")
+	f.Add("1,fail,link,3,1")
+	f.Add(`{"cycle":9,"op":"fail","elem":"link","src":3,"port":1}`)
+	f.Add("# comment\n\n7,heal,node,0")
+	f.Add("100,fail,node")
+	f.Add("{")
+	f.Add("☃,fail,node,1")
+	f.Add("9223372036854775807,fail,node,1")
+	tor := topology.New(4, 2)
+	f.Fuzz(func(t *testing.T, in string) {
+		evs, err := ParseScheduleTrace(strings.NewReader(in), tor)
+		if err != nil {
+			return
+		}
+		last := int64(-1)
+		for _, tr := range evs {
+			if tr.Cycle < last {
+				t.Fatalf("accepted out-of-order cycles: %+v", evs)
+			}
+			last = tr.Cycle
+			if !tr.IsLink && !tor.Valid(tr.Node) {
+				t.Fatalf("accepted invalid node: %+v", tr)
+			}
+			if tr.IsLink && !tor.HasLink(tr.Link.Src, tr.Link.Port.Dim(), tr.Link.Port.Dir()) {
+				t.Fatalf("accepted invalid link: %+v", tr)
+			}
+		}
+	})
+}
+
+// canonChan maps a directed channel onto its physical link's canonical
+// representative, so the net-effect model below tracks links the way
+// MarkLink/healLink mutate them (both directions at once).
+func canonChan(t topology.Network, ch topology.ChannelID) topology.ChannelID {
+	rev := topology.ChannelID{Src: ch.Dst(t), Port: ch.Port.Opposite()}
+	if rev.Src < ch.Src || (rev.Src == ch.Src && rev.Port < ch.Port) {
+		return rev
+	}
+	return ch
+}
+
+// TestViewNetEffectProperty is the mutable view's correctness property:
+// after any interleaving of fail/heal transitions (including redundant
+// ones Apply rejects), the live set must equal a fresh Set built from
+// the net effect alone. A drift here — a heal that forgets a direction,
+// a fail that leaks state — would silently corrupt every dynamic run
+// that re-fails a healed element.
+func TestViewNetEffectProperty(t *testing.T) {
+	tor := topology.New(4, 2)
+	chans := topology.ChannelsOf(tor)
+	r := rng.New(77)
+	for trial := 0; trial < 50; trial++ {
+		live := NewSet(tor)
+		view := NewView(live)
+		nodes := map[topology.NodeID]bool{}
+		links := map[topology.ChannelID]bool{}
+		for step := 0; step < 120; step++ {
+			fail := r.Bool()
+			if r.Bool() {
+				n := topology.NodeID(r.Intn(tor.Nodes()))
+				if view.Apply(Transition{Fail: fail, Node: n}) != (nodes[n] != fail) {
+					t.Fatalf("trial %d step %d: node %d fail=%v: change report disagrees with model", trial, step, n, fail)
+				}
+				nodes[n] = fail
+			} else {
+				ch := chans[r.Intn(len(chans))]
+				key := canonChan(tor, ch)
+				if view.Apply(Transition{Fail: fail, IsLink: true, Link: ch}) != (links[key] != fail) {
+					t.Fatalf("trial %d step %d: link %v fail=%v: change report disagrees with model", trial, step, ch, fail)
+				}
+				links[key] = fail
+			}
+		}
+		fresh := NewSet(tor)
+		for n, down := range nodes {
+			if down {
+				fresh.MarkNode(n)
+			}
+		}
+		for ch, down := range links {
+			if down {
+				fresh.MarkLink(ch.Src, ch.Port)
+			}
+		}
+		if !Equal(live, fresh) {
+			t.Fatalf("trial %d: live set diverged from net-effect rebuild", trial)
+		}
+	}
+}
+
+// TestMTBFScheduleDeterministic pins the generative schedule's contract:
+// identical seeds yield identical transition sequences, every emitted
+// failure has a matching later heal scheduled, and no accepted failure
+// ever disconnects the healthy sub-network.
+func TestMTBFScheduleDeterministic(t *testing.T) {
+	tor := topology.New(8, 2)
+	run := func(seed uint64) []Transition {
+		base := NewSet(tor)
+		sched, err := NewSchedule("mtbf:mtbf=300,mttr=80,elems=mixed", ScheduleEnv{
+			T: tor, Base: base, R: rng.New(seed).Split(rng.ScheduleLabel()),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		view := NewView(base)
+		var all []Transition
+		for now := int64(0); now < 20000; now++ {
+			for _, tr := range sched.Advance(now, base) {
+				if tr.Cycle > now {
+					t.Fatalf("transition %v emitted before its cycle (now %d)", tr, now)
+				}
+				if !view.Apply(tr) {
+					continue
+				}
+				all = append(all, tr)
+				if tr.Fail && base.Disconnects() {
+					t.Fatalf("transition %v disconnected the network", tr)
+				}
+			}
+		}
+		return all
+	}
+	a, b := run(9), run(9)
+	if len(a) == 0 {
+		t.Fatal("mtbf schedule emitted no transitions in 20k cycles at mtbf=300")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different transition sequences")
+	}
+	fails, heals := 0, 0
+	for _, tr := range a {
+		if tr.Fail {
+			fails++
+		} else {
+			heals++
+		}
+	}
+	if fails == 0 || heals == 0 {
+		t.Fatalf("expected both failures and repairs, got %d fails / %d heals", fails, heals)
+	}
+}

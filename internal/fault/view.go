@@ -1,0 +1,113 @@
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// Transition is one fault-state change of a dynamic run: a node or link
+// failing or healing at a cycle. Link transitions always act on the
+// bidirectional physical link (both channels), matching MarkLink.
+type Transition struct {
+	Cycle int64
+	// Fail selects between failure (true) and repair (false).
+	Fail bool
+	// IsLink selects between a link transition (Link meaningful) and a node
+	// transition (Node meaningful).
+	IsLink bool
+	Node   topology.NodeID
+	Link   topology.ChannelID
+}
+
+func (tr Transition) String() string {
+	op := "heal"
+	if tr.Fail {
+		op = "fail"
+	}
+	if tr.IsLink {
+		return fmt.Sprintf("@%d %s link %v", tr.Cycle, op, tr.Link)
+	}
+	return fmt.Sprintf("@%d %s node %d", tr.Cycle, op, tr.Node)
+}
+
+// View is the engine's mutable handle over a run's fault Set. All readers
+// (routing, the planner, traffic sources) keep their *Set pointer; the View
+// mutates that same Set in place, strictly at the engine's serial
+// transition point, so between transitions the Set behaves exactly like
+// the static model it was.
+type View struct {
+	s *Set
+}
+
+// NewView wraps a live fault set for dynamic mutation.
+func NewView(s *Set) *View { return &View{s: s} }
+
+// Set returns the wrapped live fault set.
+func (v *View) Set() *Set { return v.s }
+
+// Apply performs one transition on the live set. It reports whether the
+// state actually changed: failing an already-faulty element or healing a
+// healthy one is a no-op (false), so replayed traces are idempotent and a
+// generative schedule's heal of a since-re-failed element cannot corrupt
+// state. Link transitions on nonexistent channels (mesh edges) are
+// rejected as no-ops too — parsers validate against the topology, so this
+// is pure defence.
+func (v *View) Apply(tr Transition) bool {
+	s := v.s
+	if tr.IsLink {
+		ch := tr.Link
+		if !s.t.Valid(ch.Src) || !s.t.HasLink(ch.Src, ch.Port.Dim(), ch.Port.Dir()) {
+			return false
+		}
+		if tr.Fail {
+			if s.link[ch] {
+				return false
+			}
+			s.MarkLink(ch.Src, ch.Port)
+			return true
+		}
+		if !s.link[ch] {
+			return false
+		}
+		s.healLink(ch.Src, ch.Port)
+		return true
+	}
+	if !s.t.Valid(tr.Node) {
+		return false
+	}
+	if tr.Fail {
+		if s.node[tr.Node] {
+			return false
+		}
+		s.MarkNode(tr.Node)
+		return true
+	}
+	if !s.node[tr.Node] {
+		return false
+	}
+	s.healNode(tr.Node)
+	return true
+}
+
+// Equal reports whether two fault sets over the same topology agree on
+// every node and channel fault. Used by the net-effect property tests.
+func Equal(a, b *Set) bool {
+	if a.t.Nodes() != b.t.Nodes() || a.t.Degree() != b.t.Degree() {
+		return false
+	}
+	for id := 0; id < a.t.Nodes(); id++ {
+		if a.node[id] != b.node[id] {
+			return false
+		}
+	}
+	if len(a.link) != len(b.link) {
+		return false
+	}
+	for ch := range a.link {
+		if !b.link[ch] {
+			return false
+		}
+	}
+	return true
+}

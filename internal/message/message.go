@@ -275,6 +275,24 @@ func (m *Message) ResetForReinjection() {
 	m.Crossed = [MaxDims]bool{}
 }
 
+// ResetForRequeue rewinds the header to its as-generated state for a full
+// restart from the source, used when a dynamic fault transition purges the
+// worm from the network. Unlike ResetForReinjection, every piece of
+// accumulated rerouting state clears — the fault pattern that produced it
+// no longer exists — and the base routing mode is restored. Statistics
+// fields (ID, CreatedAt, Absorptions) persist: the retry is the same
+// message, and its latency is measured from original generation.
+func (m *Message) ResetForRequeue(mode Mode) {
+	m.Via = m.Via[:0]
+	m.Mode = mode
+	m.Faulted = false
+	m.DirOverride = [MaxDims]topology.Dir{}
+	m.Reversed = [MaxDims]bool{}
+	m.Crossed = [MaxDims]bool{}
+	m.Detoured = false
+	m.Pending = StopNone
+}
+
 // Flit materialises flit seq of the worm. The message must be registered in
 // a Pool (flits carry the pool Ref, not a pointer).
 func (m *Message) Flit(seq int) Flit {

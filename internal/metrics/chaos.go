@@ -1,0 +1,194 @@
+package metrics
+
+// Chaos metrics for dynamic-fault runs: fixed-length measurement windows
+// (Welford means per interval), fault-transition counters, purge
+// loss/re-injection counts, rerouting convergence time, and per-interval
+// availability. All of it is inert — zero branches taken, zero extra
+// state — unless the engine arms windows for a scheduled run, so static
+// runs keep their exact collector behaviour.
+
+import (
+	"fmt"
+
+	"repro/internal/message"
+)
+
+// Window is one closed measurement interval [Start, End) of a dynamic run.
+type Window struct {
+	Start, End int64
+	// Generated and Delivered count measured messages attributed to the
+	// window: generation by creation cycle, delivery by delivery cycle.
+	Generated, Delivered uint64
+	latSum               float64
+}
+
+// MeanLatency returns the mean latency of messages delivered in the
+// window, or 0 when none were.
+func (w Window) MeanLatency() float64 {
+	if w.Delivered == 0 {
+		return 0
+	}
+	return w.latSum / float64(w.Delivered)
+}
+
+// Availability is the window's delivered/generated ratio, the per-interval
+// service level of a run under churn. An idle window (nothing generated)
+// counts as fully available.
+func (w Window) Availability() float64 {
+	if w.Generated == 0 {
+		return 1
+	}
+	return float64(w.Delivered) / float64(w.Generated)
+}
+
+// convergenceBand is the recovery criterion: after a failure, the network
+// has re-converged once a window's mean latency drops back within this
+// factor of the pre-failure baseline.
+const convergenceBand = 1.2
+
+// EnableWindows arms per-interval statistics with the given window length
+// in cycles. The engine calls it once, before the run, when a fault
+// schedule is configured.
+func (c *Collector) EnableWindows(length int64) {
+	if length < 1 {
+		length = 1
+	}
+	c.winLen = length
+	c.cur = Window{Start: 0, End: length}
+}
+
+// roll closes windows until cycle now falls inside the current one.
+func (c *Collector) roll(now int64) {
+	if c.winLen == 0 {
+		return
+	}
+	for now >= c.cur.End {
+		c.closed = append(c.closed, c.cur)
+		c.cur = Window{Start: c.cur.End, End: c.cur.End + c.winLen}
+	}
+}
+
+// Transition records one applied fault transition at cycle now; fail
+// distinguishes failures (tracked for convergence measurement) from heals.
+func (c *Collector) Transition(now int64, fail bool) {
+	c.transitions++
+	c.roll(now)
+	if fail {
+		c.failCycles = append(c.failCycles, now)
+	}
+}
+
+// Reinjected records a worm purged by a fault transition and requeued for
+// re-injection at its source.
+func (c *Collector) Reinjected(*message.Message) { c.reinjected++ }
+
+// Lost records a worm purged by a fault transition that could not be
+// salvaged (its source failed). Purge losses are counted separately from
+// Dropped: a drop is a routing verdict, a loss is violence done to an
+// in-flight worm.
+func (c *Collector) Lost(*message.Message) { c.lost++ }
+
+// windowGenerated attributes a measured generation to its window.
+func (c *Collector) windowGenerated(at int64) {
+	if c.winLen == 0 {
+		return
+	}
+	c.roll(at)
+	c.cur.Generated++
+}
+
+// windowDelivered attributes a measured delivery to its window.
+func (c *Collector) windowDelivered(now int64, latency float64) {
+	if c.winLen == 0 {
+		return
+	}
+	c.roll(now)
+	c.cur.Delivered++
+	c.cur.latSum += latency
+}
+
+// finalizeChaos folds the chaos state into the results at cycle now.
+func (c *Collector) finalizeChaos(r *Results, now int64) {
+	r.Reinjected = c.reinjected
+	r.Lost = c.lost
+	r.Transitions = c.transitions
+	if c.winLen == 0 {
+		return
+	}
+	c.roll(now) // close every window the run outlived
+	windows := append([]Window(nil), c.closed...)
+	if c.cur.Generated > 0 || c.cur.Delivered > 0 {
+		partial := c.cur
+		if now < partial.End {
+			partial.End = now
+		}
+		windows = append(windows, partial)
+	}
+	r.Windows = windows
+
+	r.MinAvailability = 1
+	for _, w := range windows {
+		if a := w.Availability(); a < r.MinAvailability {
+			r.MinAvailability = a
+		}
+	}
+
+	r.Convergence = make([]int64, len(c.failCycles))
+	sum, n := int64(0), 0
+	for i, fc := range c.failCycles {
+		r.Convergence[i] = convergenceAfter(windows, fc)
+		if r.Convergence[i] >= 0 {
+			sum += r.Convergence[i]
+			n++
+		}
+	}
+	if n > 0 {
+		r.MeanConvergence = float64(sum) / float64(n)
+	} else if len(c.failCycles) > 0 {
+		r.MeanConvergence = -1
+	}
+}
+
+// convergenceAfter measures the rerouting convergence time of the failure
+// at cycle fc: cycles from the failure until the end of the first
+// subsequent window whose mean latency is back within convergenceBand of
+// the pre-failure baseline (the last window closed before the failure that
+// delivered anything). -1 means unrecovered within the run, or no
+// baseline to compare against.
+func convergenceAfter(windows []Window, fc int64) int64 {
+	baseline := 0.0
+	for _, w := range windows {
+		if w.End > fc {
+			break
+		}
+		if w.Delivered > 0 {
+			baseline = w.MeanLatency()
+		}
+	}
+	if baseline == 0 {
+		return -1
+	}
+	for _, w := range windows {
+		if w.End <= fc || w.Delivered == 0 {
+			continue
+		}
+		if w.MeanLatency() <= baseline*convergenceBand {
+			return w.End - fc
+		}
+	}
+	return -1
+}
+
+// ChaosString renders the chaos metrics as a one-line summary fragment;
+// empty for static runs.
+func (r Results) ChaosString() string {
+	if r.Transitions == 0 {
+		return ""
+	}
+	conv := "n/a"
+	if r.MeanConvergence >= 0 {
+		conv = fmt.Sprintf("%.0f", r.MeanConvergence)
+	}
+	return fmt.Sprintf("transitions=%d reinjected=%d lost=%d convergence=%s avail_min=%.3f",
+		r.Transitions, r.Reinjected, r.Lost, conv, r.MinAvailability)
+}

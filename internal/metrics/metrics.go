@@ -43,6 +43,16 @@ type Collector struct {
 	queuedFault uint64
 	queuedVia   uint64
 	dropped     uint64
+
+	// Chaos state for dynamic-fault runs (see chaos.go); winLen == 0 means
+	// windows are disarmed and every chaos path short-circuits.
+	winLen      int64
+	cur         Window
+	closed      []Window
+	transitions uint64
+	reinjected  uint64
+	lost        uint64
+	failCycles  []int64
 }
 
 // NewCollector builds a collector that ignores the first warmup generated
@@ -60,8 +70,11 @@ func (c *Collector) Measured(m *message.Message) bool { return m.ID >= c.warmup 
 // Generated records a message creation.
 func (c *Collector) Generated(m *message.Message) {
 	c.generated++
-	if c.Measured(m) && c.measuredAt < 0 {
-		c.measuredAt = m.CreatedAt
+	if c.Measured(m) {
+		if c.measuredAt < 0 {
+			c.measuredAt = m.CreatedAt
+		}
+		c.windowGenerated(m.CreatedAt)
 	}
 }
 
@@ -76,6 +89,7 @@ func (c *Collector) Delivered(m *message.Message, now int64) {
 	lat := float64(now - m.CreatedAt)
 	c.latency.Add(lat)
 	c.sample.Add(lat)
+	c.windowDelivered(now, lat)
 }
 
 // Stop records a software-layer stop (absorption or via arrival).
@@ -132,6 +146,20 @@ type Results struct {
 	// Saturated flags a run that hit its cycle limit with a growing backlog
 	// instead of delivering its message quota.
 	Saturated bool
+
+	// Chaos metrics, populated only for dynamic-fault runs (see chaos.go).
+	// Transitions counts applied fault-state changes; Reinjected and Lost
+	// count purged in-flight worms by outcome.
+	Transitions, Reinjected, Lost uint64
+	// Windows holds the per-interval statistics when windows were armed.
+	Windows []Window
+	// Convergence is the rerouting convergence time of each failure in
+	// cycles (-1: unrecovered); MeanConvergence averages the recovered ones
+	// (-1 when no failure recovered).
+	Convergence     []int64
+	MeanConvergence float64
+	// MinAvailability is the worst per-window delivered/generated ratio.
+	MinAvailability float64
 }
 
 // Finalize computes the summary at cycle now for a network of nodes traffic
@@ -166,6 +194,7 @@ func (c *Collector) Finalize(now int64, nodes int, saturated bool) Results {
 	if r.Generated > 0 {
 		r.AcceptedFraction = float64(r.Delivered) / float64(r.Generated)
 	}
+	c.finalizeChaos(&r, now)
 	return r
 }
 
@@ -181,6 +210,10 @@ func (r Results) String() string {
 	if r.Saturated {
 		sat = " SATURATED"
 	}
-	return fmt.Sprintf("latency=%.1f±%.1f p99=%.0f thr=%.5f msg/node/cyc delivered=%d queued=%d%s",
-		r.MeanLatency, r.LatencyCI95, r.P99, r.Throughput, r.Delivered, r.QueuedTotal(), sat)
+	chaos := ""
+	if cs := r.ChaosString(); cs != "" {
+		chaos = " " + cs
+	}
+	return fmt.Sprintf("latency=%.1f±%.1f p99=%.0f thr=%.5f msg/node/cyc delivered=%d queued=%d%s%s",
+		r.MeanLatency, r.LatencyCI95, r.P99, r.Throughput, r.Delivered, r.QueuedTotal(), sat, chaos)
 }

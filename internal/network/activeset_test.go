@@ -1,6 +1,7 @@
 package network
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/fault"
@@ -79,7 +80,7 @@ func TestActiveSetMatchesDenseScan(t *testing.T) {
 						i, evActive[i], evDense[i])
 				}
 			}
-			if resActive != resDense {
+			if !reflect.DeepEqual(resActive, resDense) {
 				t.Fatalf("results differ:\nactive-set: %+v\ndense-scan: %+v", resActive, resDense)
 			}
 		})

@@ -122,6 +122,12 @@ type Params struct {
 	// polled or enqueued message — correct, but source-side allocations
 	// then stay on the heap.
 	Pool *message.Pool
+	// Schedule, when non-nil, makes the run dynamic: the engine advances
+	// the schedule once per cycle at the serial transition point and
+	// applies its fail/heal transitions through a fault.View over the
+	// shared fault set (see transitions.go). The schedule must be built
+	// over the same fault set the engine and algorithm share.
+	Schedule fault.Schedule
 }
 
 // DefaultParams returns the paper's configuration: Td = 0, Δ = 0,
@@ -200,6 +206,23 @@ func (q *fifo[T]) Pop() {
 	}
 }
 
+// Filter removes every queued entry drop reports true for, preserving
+// the order of the survivors, and returns the removed entries in queue
+// order. Used by dynamic fault transitions; never on the hot path.
+func (q *fifo[T]) Filter(drop func(T) bool) []T {
+	var removed []T
+	kept := q.items[:q.head]
+	for _, v := range q.items[q.head:] {
+		if drop(v) {
+			removed = append(removed, v)
+		} else {
+			kept = append(kept, v)
+		}
+	}
+	q.items = kept
+	return removed
+}
+
 // Network is the simulation engine.
 type Network struct {
 	t    topology.Network
@@ -269,6 +292,15 @@ type Network struct {
 	// router's phases visit only lanes holding flits instead of scanning
 	// all Ports()×V. Off under either dense knob.
 	vcTrack bool
+
+	// Dynamic-fault state (nil/zero for static runs): the schedule driving
+	// transitions, the mutable view over f, and the algorithm's base
+	// routing mode, restored to purged worms when they restart from their
+	// source (accumulated rerouting state is meaningless once the fault
+	// pattern that caused it has changed).
+	sched    fault.Schedule
+	view     *fault.View
+	baseMode message.Mode
 
 	now       int64
 	inFlight  int // worms injected (streaming or in-network) not yet completed
@@ -346,6 +378,11 @@ func New(t topology.Network, f *fault.Set, alg routing.Router, gen traffic.Sourc
 		for id := range n.rngs {
 			n.rngs[id] = r.Split(rng.RouterLabel(id))
 		}
+	}
+	if p.Schedule != nil {
+		n.sched = p.Schedule
+		n.view = fault.NewView(f)
+		n.baseMode = alg.BaseMode()
 	}
 	n.sw = newWorker(n, 0, true, 0, topology.NodeID(t.Nodes()), alg)
 	n.initWorkers()
@@ -546,6 +583,7 @@ func (nw *Network) Step() {
 		return
 	}
 	nw.now++
+	nw.applyTransitions()
 	nw.pollTraffic()
 	nw.beginCycle()
 	nw.routeAndAllocate()
@@ -565,6 +603,18 @@ func (nw *Network) pollTraffic() {
 	for _, m := range nw.gen.Poll(nw.now) {
 		nw.col.Generated(m)
 		nw.generated++
+		if nw.view != nil && (nw.f.NodeFaulty(m.Src) || nw.f.NodeFaulty(m.Dst)) {
+			// An endpoint failed mid-run (sources draw their layout from the
+			// static set and cannot know): the offered message is lost,
+			// counted against availability. Routing assumes healthy
+			// destinations, so a dead-destination message would circle until
+			// the heal; dropping it at the boundary keeps behaviour bounded.
+			// Unreachable with an empty schedule — sources never pick
+			// statically faulty endpoints — so static equivalence holds.
+			nw.col.Lost(m)
+			nw.pool.Free(nw.pool.Adopt(m))
+			continue
+		}
 		nw.newQ[m.Src].Push(nw.pool.Adopt(m))
 		nw.markActive(m.Src)
 	}
@@ -658,6 +708,10 @@ func (w *worker) allocateLane(node topology.NodeID, rt *router.Router, port, vc 
 		ivc.HasRoute, ivc.ToEject = true, false
 		ivc.OutPort, ivc.OutVC = pick.Port, pick.VC
 	}
+	// Every case above that falls through has allocated a route (Progress
+	// returns early otherwise); record the owning worm for the
+	// fault-transition purge.
+	ivc.Owner = front.Ref()
 }
 
 // switchTraversal performs switch allocation and link/ejection traversal

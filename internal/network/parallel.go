@@ -261,6 +261,7 @@ func (w *worker) stageArrivalW(ev arrivalEvent) {
 // source is one stream of draws); everything per-router fans out.
 func (nw *Network) stepParallel() {
 	nw.now++
+	nw.applyTransitions() // serial: no worker goroutine exists between cycles
 	nw.pollTraffic()
 	nw.beginCycleParallel()
 	nw.runParallel((*worker).phaseA)

@@ -1,6 +1,7 @@
 package network
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/fault"
@@ -100,7 +101,7 @@ func TestRegistrySourceMatchesLegacyGenerator(t *testing.T) {
 					t.Fatalf("event %d differs:\nregistry: %+v\nlegacy:   %+v", i, evReg[i], evLegacy[i])
 				}
 			}
-			if resReg != resLegacy {
+			if !reflect.DeepEqual(resReg, resLegacy) {
 				t.Fatalf("results differ:\nregistry: %+v\nlegacy:   %+v", resReg, resLegacy)
 			}
 		})

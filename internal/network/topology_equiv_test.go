@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -91,7 +92,7 @@ func assertSameRun(t *testing.T, evA, evB []trace.Event, resA, resB metrics.Resu
 			t.Fatalf("%s: event %d differs:\nA: %+v\nB: %+v", what, i, evA[i], evB[i])
 		}
 	}
-	if resA != resB {
+	if !reflect.DeepEqual(resA, resB) {
 		t.Fatalf("%s: results differ:\nA: %+v\nB: %+v", what, resA, resB)
 	}
 }

@@ -1,0 +1,332 @@
+package network
+
+// Dynamic fault transitions. A scheduled run (Params.Schedule) applies
+// fail/heal transitions at one fixed point in the cycle: after the clock
+// advances, before traffic polling and every per-router phase. The point
+// is serial in both engines — between cycles no worker goroutine exists —
+// so transitions mutate state across domain boundaries freely, and the
+// parallel engine stays bit-identical to the serial one (the commit-order
+// contract extends to dynamic runs; TestScheduleParallelMatchesSerial
+// holds it).
+//
+// A failure purges every worm occupying the failed component: its flits
+// are pulled out of buffers, link pipelines and injection streams, its
+// channel reservations are released with credits restored, and the whole
+// message restarts from its source through the priority re-injection
+// queue (counted as Reinjected) — unless either endpoint is down, in
+// which case the message is counted Lost (routing assumes healthy
+// destinations, so a dead-destination worm would circle until the heal).
+// Heals mutate only the fault set: a healed component comes back empty,
+// with full credits, because the purge left it that way when it failed.
+
+import (
+	"sort"
+
+	"repro/internal/fault"
+	"repro/internal/message"
+	"repro/internal/routing"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// applyTransitions drives the fault schedule for this cycle. No-op (two
+// loads and a compare) for static runs.
+func (nw *Network) applyTransitions() {
+	if nw.view == nil {
+		return
+	}
+	changed := false
+	for _, tr := range nw.sched.Advance(nw.now, nw.f) {
+		if !nw.view.Apply(tr) {
+			continue // no-op transition (replayed trace, stale heal)
+		}
+		changed = true
+		nw.col.Transition(nw.now, tr.Fail)
+		if tr.Fail {
+			nw.purgeFailure(tr)
+		}
+	}
+	if changed {
+		nw.refreshRouting()
+	}
+}
+
+// refreshRouting rebuilds fault-derived routing state (region index,
+// healthy-node caches) in every algorithm instance after the shared fault
+// set changed. Worker 0 aliases the engine's instance; the rest are
+// clones with their own scratch and their own index.
+func (nw *Network) refreshRouting() {
+	if fr, ok := nw.alg.(routing.FaultRefresher); ok {
+		fr.RefreshFaults()
+	}
+	if nw.par == nil {
+		return
+	}
+	for _, w := range nw.par[1:] {
+		if fr, ok := w.alg.(routing.FaultRefresher); ok {
+			fr.RefreshFaults()
+		}
+	}
+}
+
+// purgeFailure removes every worm occupying the component that just
+// failed. The sweep is O(nodes × lanes) — transitions are rare events, so
+// clarity wins over a reverse index.
+func (nw *Network) purgeFailure(tr fault.Transition) {
+	dead, deadNode := nw.deadChannels(tr)
+
+	// Pass 1: find the affected worms — every worm with state at the
+	// failed node, holding a route into a dead channel, with flits in
+	// flight on one, or (node failures) destined to the dead node. The
+	// last class exists because routing assumes healthy destinations: a
+	// worm bound for a dead node would circle until the heal, so it is
+	// purged and lost wherever it is.
+	aff := make(map[message.Ref]bool)
+	dstDead := func(ref message.Ref) bool {
+		return deadNode >= 0 && nw.pool.At(ref).Dst == deadNode
+	}
+	for id := range nw.routers {
+		rt := nw.routers[id]
+		node := topology.NodeID(id)
+		for p := range rt.In {
+			for vc := range rt.In[p] {
+				ivc := &rt.In[p][vc]
+				if node == deadNode {
+					ivc.Buf.Each(func(f message.Flit) { aff[f.Ref()] = true })
+					if ivc.HasRoute {
+						aff[ivc.Owner] = true
+					}
+					continue
+				}
+				if deadNode >= 0 {
+					ivc.Buf.Each(func(f message.Flit) {
+						if dstDead(f.Ref()) {
+							aff[f.Ref()] = true
+						}
+					})
+				}
+				if ivc.HasRoute && !ivc.ToEject && dead[topology.ChannelID{Src: node, Port: ivc.OutPort}] {
+					aff[ivc.Owner] = true
+				}
+			}
+		}
+	}
+	markArrivals := func(q []arrivalEvent) {
+		for _, ev := range q {
+			if ch, ok := nw.arrivalChannel(ev); ok && dead[ch] {
+				aff[ev.flit.Ref()] = true
+			} else if dstDead(ev.flit.Ref()) {
+				aff[ev.flit.Ref()] = true
+			}
+		}
+	}
+	markArrivals(nw.arrivals)
+	for _, w := range nw.par {
+		markArrivals(w.arrQ)
+	}
+	if deadNode >= 0 {
+		for id := range nw.streams {
+			for _, s := range nw.streams[id] {
+				if topology.NodeID(id) == deadNode || dstDead(s.ref) {
+					aff[s.ref] = true
+				}
+			}
+		}
+	}
+
+	// Pass 2: pull the affected worms' flits out of every buffer and
+	// release their lane reservations. A flit removed from a network input
+	// buffer will never pop, so the credit it consumed upstream is
+	// restored directly — unless the feeding channel is dead, whose output
+	// VCs are reset wholesale in pass 4.
+	degree := nw.t.Degree()
+	for id := range nw.routers {
+		rt := nw.routers[id]
+		node := topology.NodeID(id)
+		for p := range rt.In {
+			for vc := range rt.In[p] {
+				ivc := &rt.In[p][vc]
+				removed := 0
+				if ivc.Buf.Len() > 0 {
+					removed = rt.FilterLane(p, vc, func(f message.Flit) bool { return aff[f.Ref()] })
+				}
+				if removed > 0 && p < degree {
+					feed := topology.ChannelID{Src: nw.linkFor(node, topology.Port(p)).dst, Port: topology.Port(p).Opposite()}
+					if !dead[feed] {
+						nw.routers[feed.Src].Out[feed.Port][vc].Credits += removed
+					}
+				}
+				cleared := false
+				if ivc.HasRoute && aff[ivc.Owner] {
+					if !ivc.ToEject {
+						rt.Out[ivc.OutPort][ivc.OutVC].Busy = false
+					}
+					ivc.HasRoute = false
+					cleared = true
+				}
+				if removed > 0 || cleared {
+					// A surviving worm's head may have surfaced; treat it
+					// like an arrival at the end of the previous cycle.
+					if nf, ok := ivc.Buf.Front(); ok && nf.IsHead() && !ivc.HasRoute {
+						ivc.ReadyAt = nw.now + nw.p.Td
+					}
+				}
+			}
+		}
+	}
+
+	// Pass 3: drop the affected worms' in-flight link transfers, again
+	// restoring the consumed credit when the traveled channel survives.
+	nw.arrivals = nw.filterArrivals(nw.arrivals, aff, dead)
+	for _, w := range nw.par {
+		w.arrQ = nw.filterArrivals(w.arrQ, aff, dead)
+	}
+
+	// Pass 4: reset every dead channel's output VCs to the state the
+	// credit-flow invariant dictates — free space equals buffer depth
+	// minus surviving downstream occupancy minus credits still in flight
+	// back to this VC. Pending credit events are NOT dropped: as surviving
+	// occupants pop, their credits arrive and the count converges to a
+	// full buffer, which is exactly what a later heal must find.
+	for ch := range dead {
+		down := nw.linkFor(ch.Src, ch.Port).dst
+		inPort := int(ch.Port.Opposite())
+		for vc := 0; vc < nw.p.V; vc++ {
+			ovc := &nw.routers[ch.Src].Out[ch.Port][vc]
+			ovc.Busy = false
+			ovc.Credits = nw.p.BufDepth - nw.routers[down].In[inPort][vc].Buf.Len() - nw.pendingCredits(ch.Src, ch.Port, vc)
+		}
+	}
+
+	// Pass 5: the software layers shed doomed messages — everything queued
+	// at the failed node, plus everything queued anywhere destined to it.
+	// Queued fresh messages vanish silently (they never entered the
+	// network, so they have no trace stream to terminate); absorbed
+	// messages awaiting re-injection get their streams closed with a
+	// Purge+Drop. Injection streams of affected worms disappear everywhere
+	// — at the failed node and at any healthy node still trickling in a
+	// worm that just lost flits to a dead channel.
+	if deadNode >= 0 {
+		for id := range nw.newQ {
+			node := topology.NodeID(id)
+			doomed := node == deadNode
+			for _, ref := range nw.newQ[id].Filter(func(ref message.Ref) bool {
+				return doomed || dstDead(ref)
+			}) {
+				nw.col.Lost(nw.pool.At(ref))
+				nw.pool.Free(ref)
+			}
+			for _, pm := range nw.reQ[id].Filter(func(pm pendingMsg) bool {
+				return doomed || dstDead(pm.ref)
+			}) {
+				m := nw.pool.At(pm.ref)
+				nw.trace(trace.Purge, m.ID, node)
+				nw.trace(trace.Drop, m.ID, node)
+				nw.col.Lost(m)
+				nw.pool.Free(pm.ref)
+			}
+		}
+	}
+	for id := range nw.streams {
+		ss := nw.streams[id][:0]
+		for _, s := range nw.streams[id] {
+			if !aff[s.ref] {
+				ss = append(ss, s)
+			}
+		}
+		nw.streams[id] = ss
+	}
+
+	// Pass 6: finalise the affected worms in message-ID order (the
+	// canonical deterministic order; map iteration is not). Salvageable
+	// worms restart from their source with a rewound header through the
+	// priority queue; worms whose source is down are lost.
+	refs := make([]message.Ref, 0, len(aff))
+	for ref := range aff {
+		refs = append(refs, ref)
+	}
+	sort.Slice(refs, func(i, j int) bool { return nw.pool.At(refs[i]).ID < nw.pool.At(refs[j]).ID })
+	for _, ref := range refs {
+		m := nw.pool.At(ref)
+		nw.inFlight--
+		nw.trace(trace.Purge, m.ID, m.Src)
+		if nw.f.NodeFaulty(m.Src) || nw.f.NodeFaulty(m.Dst) {
+			nw.trace(trace.Drop, m.ID, m.Src)
+			nw.col.Lost(m)
+			nw.pool.Free(ref)
+			continue
+		}
+		m.ResetForRequeue(nw.baseMode)
+		nw.col.Reinjected(m)
+		nw.reQ[m.Src].Push(pendingMsg{ref: ref, eligibleAt: nw.now + nw.p.Delta})
+		nw.markActive(m.Src)
+	}
+}
+
+// deadChannels enumerates the unidirectional channels a failure kills:
+// both directions of a failed link, or every channel incident on a failed
+// node (deadNode then identifies the node; -1 for link failures).
+func (nw *Network) deadChannels(tr fault.Transition) (map[topology.ChannelID]bool, topology.NodeID) {
+	dead := make(map[topology.ChannelID]bool)
+	if tr.IsLink {
+		dead[tr.Link] = true
+		dead[topology.ChannelID{Src: tr.Link.Dst(nw.t), Port: tr.Link.Port.Opposite()}] = true
+		return dead, -1
+	}
+	for p := 0; p < nw.t.Degree(); p++ {
+		port := topology.Port(p)
+		if !nw.t.HasLink(tr.Node, port.Dim(), port.Dir()) {
+			continue
+		}
+		ch := topology.ChannelID{Src: tr.Node, Port: port}
+		dead[ch] = true
+		dead[topology.ChannelID{Src: ch.Dst(nw.t), Port: port.Opposite()}] = true
+	}
+	return dead, tr.Node
+}
+
+// arrivalChannel identifies the channel a staged link transfer is
+// traveling on: the event is addressed to (node, input port), so it came
+// from that port's neighbor through the paired output.
+func (nw *Network) arrivalChannel(ev arrivalEvent) (topology.ChannelID, bool) {
+	if ev.port >= nw.t.Degree() {
+		return topology.ChannelID{}, false // injection transfer: no link
+	}
+	up := nw.linkFor(ev.node, topology.Port(ev.port)).dst
+	return topology.ChannelID{Src: up, Port: topology.Port(ev.port).Opposite()}, true
+}
+
+// filterArrivals removes in-flight transfers of affected worms from one
+// arrival queue, restoring the consumed upstream credit when the traveled
+// channel is not itself dead (dead channels are reset wholesale).
+func (nw *Network) filterArrivals(q []arrivalEvent, aff map[message.Ref]bool, dead map[topology.ChannelID]bool) []arrivalEvent {
+	kept := q[:0]
+	for _, ev := range q {
+		if !aff[ev.flit.Ref()] {
+			kept = append(kept, ev)
+			continue
+		}
+		if ch, ok := nw.arrivalChannel(ev); ok && !dead[ch] {
+			nw.routers[ch.Src].Out[ch.Port][ev.vc].Credits++
+		}
+	}
+	return kept
+}
+
+// pendingCredits counts staged credit returns addressed to output VC
+// (node, port, vc), across the serial queue and every domain's.
+func (nw *Network) pendingCredits(node topology.NodeID, port topology.Port, vc int) int {
+	n := 0
+	count := func(q []creditEvent) {
+		for _, c := range q {
+			if c.node == node && c.port == port && c.vc == vc {
+				n++
+			}
+		}
+	}
+	count(nw.credits)
+	for _, w := range nw.par {
+		count(w.credQ)
+	}
+	return n
+}

@@ -20,6 +20,7 @@ package rng
 //
 //	0x01  per-router VC-selection streams (engine stream → RouterLabel)
 //	0x02  reserved: per-source traffic streams (SourceLabel)
+//	0x03  the fault-schedule stream (run stream → ScheduleLabel)
 //
 // New subsystems take the next free tag; never reuse a retired one, since
 // a reused tag silently changes every run's draw sequence.
@@ -32,6 +33,10 @@ const (
 	// reserving the tag now keeps future streams collision-free against
 	// the per-router family without a migration).
 	nsSource uint64 = 0x02 << nsShift
+	// nsSchedule tags the fault-schedule stream that drives generative
+	// MTBF/MTTR fault processes (see internal/fault). One stream per run,
+	// entity id 0.
+	nsSchedule uint64 = 0x03 << nsShift
 )
 
 // RouterLabel returns the Split label of node id's VC-selection stream.
@@ -42,6 +47,12 @@ func RouterLabel(id int) uint64 { return nsRouter | entity(id) }
 // stream. No current code draws from it; it exists so per-source streams
 // added later cannot collide with the per-router family.
 func SourceLabel(id int) uint64 { return nsSource | entity(id) }
+
+// ScheduleLabel returns the Split label of the run's fault-schedule
+// stream. The engine derives it from the run stream strictly after the
+// traffic (1) and engine (2) splits, so adding a schedule leaves those
+// streams — and therefore every schedule-free draw — bit-identical.
+func ScheduleLabel() uint64 { return nsSchedule }
 
 func entity(id int) uint64 {
 	if id < 0 || int64(id) > 0xffffffff {

@@ -71,6 +71,38 @@ func (q *FlitQueue) Pop() message.Flit {
 	return f
 }
 
+// Each calls fn on every buffered flit in FIFO order.
+func (q *FlitQueue) Each(fn func(message.Flit)) {
+	for i := 0; i < q.size; i++ {
+		fn(q.items[(q.head+i)%len(q.items)])
+	}
+}
+
+// Filter removes every buffered flit for which drop returns true,
+// preserving FIFO order of the survivors, and returns the number removed.
+// The fault-transition purge uses it to pull a dead worm's flits out of
+// shared buffers without disturbing interleaved worms.
+func (q *FlitQueue) Filter(drop func(message.Flit) bool) int {
+	if q.size == 0 {
+		return 0
+	}
+	kept := 0
+	for i := 0; i < q.size; i++ {
+		f := q.items[(q.head+i)%len(q.items)]
+		if drop(f) {
+			continue
+		}
+		q.items[(q.head+kept)%len(q.items)] = f
+		kept++
+	}
+	removed := q.size - kept
+	for i := kept; i < q.size; i++ {
+		q.items[(q.head+i)%len(q.items)] = message.Flit{}
+	}
+	q.size = kept
+	return removed
+}
+
 // InVC is one input virtual channel: a flit buffer plus the route held by
 // the worm currently at its front. The route persists from head-flit
 // allocation until the tail flit leaves (wormhole channel reservation).
@@ -83,6 +115,10 @@ type InVC struct {
 	ToEject bool
 	OutPort topology.Port
 	OutVC   int
+	// Owner is the worm holding the route — valid only while HasRoute. The
+	// fault-transition purge uses it to find every lane a dying worm has
+	// reserved; steady-state routing never reads it.
+	Owner message.Ref
 	// ReadyAt is the earliest cycle the head may take its routing decision
 	// (models the router decision time Td of assumption (f)).
 	ReadyAt int64
@@ -242,4 +278,13 @@ func (r *Router) Pop(port, vc int) message.Flit {
 	f := r.In[port][vc].Buf.Pop()
 	r.Flits--
 	return f
+}
+
+// FilterLane removes every flit of input (port, vc) for which drop returns
+// true, keeping the activity counter consistent, and returns the number
+// removed. See FlitQueue.Filter.
+func (r *Router) FilterLane(port, vc int, drop func(message.Flit) bool) int {
+	removed := r.In[port][vc].Buf.Filter(drop)
+	r.Flits -= removed
+	return removed
 }

@@ -45,6 +45,15 @@ type EscalationSetter interface {
 	SetEscalation(n int)
 }
 
+// FaultRefresher is an optional capability: algorithms that precompute
+// state from the fault set (region index, healthy-node lists) rebuild it
+// here after a dynamic fault transition mutates the set. The engine calls
+// it at the serial transition point, once per algorithm instance, on every
+// state-changing transition.
+type FaultRefresher interface {
+	RefreshFaults()
+}
+
 // Factory builds a configured Router bound to one topology, fault set and
 // virtual-channel count. Factories validate v themselves (and anything
 // else they need) so New surfaces per-algorithm errors directly.

@@ -154,6 +154,14 @@ func newAlgorithm(t topology.Network, f *fault.Set, v int, adaptive bool) *Algor
 // restore the default. Used by the ablation benchmarks.
 func (a *Algorithm) SetEscalation(n int) { a.planner.escalateAfter = n }
 
+// RefreshFaults rebuilds the fault-region index after a dynamic transition
+// mutated the shared fault set (see fault.View). The planner holds the
+// same index, so both re-derive their view of the regions together.
+func (a *Algorithm) RefreshFaults() {
+	a.idx = fault.NewIndex(a.f)
+	a.planner.idx = a.idx
+}
+
 // Name identifies the algorithm in reports.
 func (a *Algorithm) Name() string {
 	if a.adaptive {

@@ -48,6 +48,15 @@ func NewValiant(t topology.Network, f *fault.Set, v int, adaptiveBase bool) (*Va
 	return &Valiant{Algorithm: base, healthy: healthy}, nil
 }
 
+// RefreshFaults rebuilds the base algorithm's region index and this
+// layer's healthy-node list after a dynamic fault transition. The list
+// must track the live set: intermediate() indexes into it, and a stale
+// entry would route messages via a failed node.
+func (va *Valiant) RefreshFaults() {
+	va.Algorithm.RefreshFaults()
+	va.healthy = va.Faults().HealthyNodes()
+}
+
 // Name identifies the algorithm in reports.
 func (va *Valiant) Name() string {
 	if va.Adaptive() {

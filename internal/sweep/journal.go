@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"reflect"
 	"sync"
 
 	"repro/internal/metrics"
@@ -163,7 +164,9 @@ func MergeJournals(dst string, srcs ...string) (int, error) {
 		}
 		for _, rec := range records {
 			if prev, ok := seen[rec.ID]; ok {
-				if prev != rec && !(prev.Err != "" && rec.Err != "") {
+				// DeepEqual rather than ==: Results carries slices (chaos
+				// windows/convergence) since dynamic faults landed.
+				if !reflect.DeepEqual(prev, rec) && !(prev.Err != "" && rec.Err != "") {
 					return 0, fmt.Errorf("sweep: merge %s: conflicting results for point %s (%q)", src, rec.ID, rec.Label)
 				}
 				continue

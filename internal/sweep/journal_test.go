@@ -3,6 +3,7 @@ package sweep
 import (
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -41,7 +42,7 @@ func TestJournalRoundTrip(t *testing.T) {
 		t.Fatalf("read %d records, want %d", len(got), len(want))
 	}
 	for i := range want {
-		if got[i] != want[i] {
+		if !reflect.DeepEqual(got[i], want[i]) {
 			t.Fatalf("record %d: %+v != %+v", i, got[i], want[i])
 		}
 	}

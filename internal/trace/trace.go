@@ -32,6 +32,13 @@ const (
 	Deliver
 	// Drop: the message was discarded as unroutable.
 	Drop
+	// Purge: a dynamic fault transition forcibly removed the worm from the
+	// network; its in-flight flits were discarded. Node is where the worm
+	// continues — its source on a requeue-for-reinjection (a later Inject
+	// there follows), or the point of loss when the worm could not be
+	// salvaged (a Drop there follows). Appended after Drop: Kind values are
+	// pinned by golden trace hashes and must never renumber.
+	Purge
 )
 
 // String returns the event kind's short lower-case name as written in
@@ -52,6 +59,8 @@ func (k Kind) String() string {
 		return "deliver"
 	case Drop:
 		return "drop"
+	case Purge:
+		return "purge"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -131,6 +140,8 @@ func (r *Recorder) Render(t topology.Network, msg uint64) string {
 //   - the stream starts with Inject and ends with Deliver or Drop,
 //   - consecutive Hop events visit adjacent nodes,
 //   - every software stop is followed by a re-Inject at the same node,
+//   - a Purge teleports the worm to the recorded node (its source when
+//     requeued, the loss point otherwise) — later events continue there,
 //   - cycles are non-decreasing.
 //
 // It returns the first violation found, or nil.
@@ -155,6 +166,11 @@ func (r *Recorder) Verify(t topology.Network) error {
 					return fmt.Errorf("msg#%d: hop %s -> %s not adjacent",
 						id, t.FormatNode(cur), t.FormatNode(ev.Node))
 				}
+				cur = ev.Node
+			case Purge:
+				// The worm was forcibly removed mid-flight; it resumes
+				// (or is dropped) wherever the engine said, with no
+				// adjacency relation to its pre-purge position.
 				cur = ev.Node
 			case Inject, AbsorbStart, ViaStop, FaultStop, Deliver, Drop:
 				if ev.Node != cur {
