@@ -1,0 +1,143 @@
+// Command simlint runs the first-party analyzer suite (internal/lint) that
+// statically enforces the simulator's determinism, arena and registry
+// contracts: maprange, rngpurity, reflife, registerinit, phasepurity.
+//
+// Standalone (the usual way — whole-build view, cross-package duplicate
+// detection included):
+//
+//	go run ./cmd/simlint ./...
+//
+// As a vet tool (per-package units driven by the go command, sharing go
+// vet's caching and test-file handling):
+//
+//	go build -o simlint ./cmd/simlint
+//	go vet -vettool=$PWD/simlint ./...
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	// The go command drives vet tools through a tiny protocol: -V=full
+	// for the tool fingerprint, -flags for supported flags, then one
+	// invocation per package with the path to a JSON config file.
+	if len(os.Args) == 2 {
+		switch {
+		case os.Args[1] == "-V=full" || os.Args[1] == "--V=full":
+			// Fingerprint for cmd/go's tool ID cache: a "devel" tool must
+			// report a buildID, which for a vet tool is a content hash of
+			// its own executable (same scheme as unitchecker's).
+			fmt.Printf("simlint version devel buildID=%s\n", selfID())
+			return
+		case os.Args[1] == "-flags" || os.Args[1] == "--flags":
+			fmt.Println("[]")
+			return
+		case strings.HasSuffix(os.Args[1], ".cfg"):
+			os.Exit(vetUnit(os.Args[1]))
+		}
+	}
+	os.Exit(standalone(os.Args[1:]))
+}
+
+// selfID returns a content hash of the running executable, so go vet's
+// result cache invalidates whenever the tool is rebuilt.
+func selfID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:16])
+}
+
+func standalone(args []string) int {
+	fs := flag.NewFlagSet("simlint", flag.ExitOnError)
+	var (
+		list    = fs.Bool("list", false, "list the analyzers and exit")
+		only    = fs.String("only", "", "comma-separated subset of analyzers to run")
+		pkgpath = fs.String("pkgpath", "", "treat the arguments as Go files forming one package with this import path (for fixtures and injection tests)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: simlint [flags] [packages]\n\nStatically enforces the determinism, arena and registry contracts.\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		keep := map[string]bool{}
+		for _, n := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(n)] = true
+		}
+		var sel []*lint.Analyzer
+		for _, a := range analyzers {
+			if keep[a.Name] {
+				sel = append(sel, a)
+				delete(keep, a.Name)
+			}
+		}
+		for n := range keep {
+			fmt.Fprintf(os.Stderr, "simlint: unknown analyzer %q\n", n)
+			return 2
+		}
+		analyzers = sel
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader := lint.NewLoader()
+	var (
+		pkgs []*lint.Package
+		err  error
+	)
+	if *pkgpath != "" {
+		var pkg *lint.Package
+		pkg, err = loader.LoadFiles(*pkgpath, patterns...)
+		pkgs = []*lint.Package{pkg}
+	} else {
+		pkgs, err = loader.Load(patterns...)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+		return 2
+	}
+	diags, err := lint.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildSimlint compiles the tool once per test binary.
+func buildSimlint(t *testing.T) string {
+	t.Helper()
+	exe := filepath.Join(t.TempDir(), "simlint")
+	cmd := exec.Command("go", "build", "-o", exe, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/simlint: %v\n%s", err, out)
+	}
+	return exe
+}
+
+// TestDoctoredViolationFails is the analyzer suite's injected-regression
+// check (the analogue of benchdiff's): a file with an unordered map
+// iteration, type-checked as part of the determinism-critical
+// internal/network package, must fail simlint with exit status 1 and name
+// the maprange analyzer.
+func TestDoctoredViolationFails(t *testing.T) {
+	exe := buildSimlint(t)
+	doctored := filepath.Join(t.TempDir(), "doctored.go")
+	src := `package network
+
+func leakOrder(m map[int]int, sink func(int)) {
+	for k := range m {
+		sink(k)
+	}
+}
+`
+	if err := os.WriteFile(doctored, []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, "-pkgpath", "repro/internal/network", doctored)
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("want exit error from doctored run, got err=%v\n%s", err, out)
+	}
+	if code := ee.ExitCode(); code != 1 {
+		t.Fatalf("doctored violation: want exit 1, got %d\n%s", code, out)
+	}
+	if !strings.Contains(string(out), "maprange") {
+		t.Fatalf("doctored violation output does not mention maprange:\n%s", out)
+	}
+}
+
+// TestCleanFileExitsZero: the same file is clean once the iteration is
+// removed, and clean runs exit 0.
+func TestCleanFileExitsZero(t *testing.T) {
+	exe := buildSimlint(t)
+	clean := filepath.Join(t.TempDir(), "clean.go")
+	src := `package network
+
+func noMaps(s []int, sink func(int)) {
+	for _, v := range s {
+		sink(v)
+	}
+}
+`
+	if err := os.WriteFile(clean, []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, "-pkgpath", "repro/internal/network", clean)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("clean run: %v\n%s", err, out)
+	}
+}
+
+// TestRealTreeIsClean runs the shipped suite over the whole module — the
+// same gate the simlint CI job applies. A regression here means a contract
+// violation landed without a sorted rewrite or a justified ignore.
+func TestRealTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-tree typecheck is slow; run without -short")
+	}
+	exe := buildSimlint(t)
+	cmd := exec.Command(exe, "./...")
+	cmd.Dir = moduleRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("simlint ./... on the real tree failed: %v\n%s", err, out)
+	}
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Dir(strings.TrimSpace(string(out)))
+}

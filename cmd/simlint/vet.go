@@ -1,0 +1,148 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// vetConfig is the JSON unit description the go command hands a vet tool —
+// the same schema golang.org/x/tools/go/analysis/unitchecker consumes.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetUnit analyzes one package unit described by a vet .cfg file and
+// returns the process exit code. Type information for imports comes from
+// the export data the go command already built (cfg.PackageFile), read by
+// the standard library's gc importer — no reparsing of dependencies.
+func vetUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+	// The go command requires the facts output file to exist even though
+	// this suite exchanges no facts between units.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: &vetImporter{cfg: &cfg, fset: fset}}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "simlint: typecheck %s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+	pkg := &lint.Package{Path: basePath(cfg.ImportPath), Fset: fset, Files: files, Types: tpkg, Info: info}
+	diags, err := lint.Run([]*lint.Package{pkg}, lint.All())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+		return 2
+	}
+	// The go command compiles in-package test files into a variant unit
+	// ("pkg [pkg.test]"); the contracts cover shipped code only, so
+	// findings inside _test.go files are dropped here the same way the
+	// standalone driver never loads them.
+	n := 0
+	for _, d := range diags {
+		if strings.HasSuffix(d.Pos.Filename, "_test.go") {
+			continue
+		}
+		fmt.Fprintln(os.Stderr, d)
+		n++
+	}
+	if n > 0 {
+		return 1
+	}
+	return 0
+}
+
+// basePath strips the go command's test-variant suffix ("pkg [pkg.test]")
+// so analyzer package scoping sees the real import path.
+func basePath(importPath string) string {
+	if i := strings.Index(importPath, " ["); i >= 0 {
+		return importPath[:i]
+	}
+	return importPath
+}
+
+// vetImporter resolves imports through the unit's vendor/test-variant
+// ImportMap and reads type information from the export data files the go
+// command lists in PackageFile.
+type vetImporter struct {
+	cfg  *vetConfig
+	fset *token.FileSet
+	base types.ImporterFrom
+}
+
+func (v *vetImporter) Import(path string) (*types.Package, error) {
+	if v.base == nil {
+		lookup := func(path string) (io.ReadCloser, error) {
+			file, ok := v.cfg.PackageFile[path]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q in vet config", path)
+			}
+			return os.Open(file)
+		}
+		v.base = importer.ForCompiler(v.fset, v.cfg.Compiler, lookup).(types.ImporterFrom)
+	}
+	if mapped, ok := v.cfg.ImportMap[path]; ok {
+		path = mapped
+	}
+	return v.base.ImportFrom(path, v.cfg.Dir, 0)
+}

@@ -60,6 +60,7 @@ func (s *Set) Clone() *Set {
 		link:  make(map[topology.ChannelID]bool, len(s.link)),
 	}
 	copy(c.node, s.node)
+	//simlint:ignore maprange -- map-to-map set copy; the destination is itself unordered, so no order can leak
 	for ch := range s.link {
 		c.link[ch] = true
 	}

@@ -104,6 +104,7 @@ func Equal(a, b *Set) bool {
 	if len(a.link) != len(b.link) {
 		return false
 	}
+	//simlint:ignore maprange -- commutative conjunction over an unordered set; any order yields the same bool
 	for ch := range a.link {
 		if !b.link[ch] {
 			return false

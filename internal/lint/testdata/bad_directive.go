@@ -1,0 +1,15 @@
+// Fixture for malformed suppression directives: an ignore without a
+// reason must not suppress, and is a finding itself; an unknown phase name
+// is a finding.
+package fixture
+
+func reasonless(m map[string]int) int {
+	s := 0
+	for _, v := range m { //simlint:ignore maprange
+		s += v
+	}
+	return s
+}
+
+//simlint:phase quantum
+func unknownPhase() {}

@@ -1,0 +1,83 @@
+// Fixture for the maprange analyzer; type-checked under the import path
+// repro/internal/network so it counts as determinism-critical.
+package fixture
+
+import "sort"
+
+func flaggedKeyValue(m map[string]int, sink func(string, int)) {
+	for k, v := range m { // want `maprange: iteration over map m has nondeterministic order`
+		sink(k, v)
+	}
+}
+
+func flaggedKeyOnly(m map[string]int) int {
+	s := 0
+	for k := range m { // want `nondeterministic order`
+		s += len(k)
+	}
+	return s
+}
+
+func flaggedValueOnly(m map[string]int, sink func(int)) {
+	for _, v := range m { // want `nondeterministic order`
+		sink(v)
+	}
+}
+
+// The canonical rewrite: the key-collection loop and the sorted re-range
+// are both order-free.
+func sortedRewrite(m map[string]int, sink func(string, int)) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		sink(k, m[k])
+	}
+}
+
+// Counting iterations binds no iteration variable; order cannot leak.
+func keyless(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// A collect loop whose body does more than append is still flagged.
+func flaggedCollectPlus(m map[string]int, sink func(string)) []string {
+	var keys []string
+	for k := range m { // want `nondeterministic order`
+		keys = append(keys, k)
+		sink(k)
+	}
+	return keys
+}
+
+func suppressedTrailing(m map[string]int) int {
+	max := 0
+	for k := range m { //simlint:ignore maprange -- max over an unordered set commutes
+		if len(k) > max {
+			max = len(k)
+		}
+	}
+	return max
+}
+
+func suppressedStanding(m map[string]int) int {
+	sum := 0
+	//simlint:ignore maprange -- integer sum over an unordered set commutes
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// Slices are ordered; never flagged.
+func sliceRange(s []int, sink func(int)) {
+	for _, v := range s {
+		sink(v)
+	}
+}

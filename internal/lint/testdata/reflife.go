@@ -1,0 +1,50 @@
+// Fixture for the reflife analyzer; type-checked under an internal/-scoped
+// import path other than repro/internal/message.
+package fixture
+
+import (
+	"repro/internal/message"
+	"repro/internal/topology"
+)
+
+type holder struct {
+	cur  *message.Message            // want `struct field holds \*message.Message`
+	all  []*message.Message          // want `struct field holds \*message.Message`
+	byID map[uint64]*message.Message // want `struct field holds \*message.Message`
+
+	// Ref is the sanctioned durable handle.
+	ref  message.Ref
+	refs []message.Ref
+}
+
+var stash *message.Message // want `package variable stash holds \*message.Message`
+
+type cache map[message.Ref]*message.Message // want `type cache is a durable container`
+
+type refList []message.Ref // fine: refs are durable by design
+
+func callLocal(p *message.Pool, r message.Ref) topology.NodeID {
+	m := p.At(r) // pointers are fine while the call lasts
+	return m.Src
+}
+
+type anySink struct{ v any }
+
+func storeIntoInterface(s *anySink, p *message.Pool, r message.Ref) {
+	s.v = p.At(r) // want `storing a \*message.Message into s.v`
+}
+
+func storeIntoMap(p *message.Pool, r message.Ref) {
+	m := map[message.Ref]*message.Message{} // the type is anonymous here; the store below is the finding
+	m[r] = p.At(r)                          // want `storing a \*message.Message into m\[r\]`
+	_ = m
+}
+
+type pollBuf struct {
+	// The traffic-source idiom: pre-adoption scratch reset every Poll.
+	out []*message.Message //simlint:ignore reflife -- pre-adoption scratch, reset at the top of every Poll
+}
+
+func (b *pollBuf) take(m *message.Message) {
+	b.out = append(b.out, m) // appending keeps the slice type; the field decl above is the contract point
+}

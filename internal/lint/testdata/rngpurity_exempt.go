@@ -1,0 +1,10 @@
+// Fixture proving rngpurity scoping: loaded once under the import path
+// repro/internal/rng (the exempt package) and once under repro/cmd/fixture
+// (outside internal/); in both cases it must produce no findings.
+package fixture
+
+import "time"
+
+func seedFromClock() int64 {
+	return time.Now().UnixNano()
+}

@@ -188,13 +188,15 @@ type Message struct {
 	// DeliveredAt is the cycle the tail flit reached the destination PE;
 	// -1 while in flight.
 	DeliveredAt int64
-	// Pending is the engine's transient ejection reason for the worm.
-	Pending StopReason
 
 	// refp1 is the message's Pool handle plus one; 0 means the message is
 	// not registered in a pool. The +1 shift keeps the zero Message safely
-	// unregistered.
+	// unregistered. (Declared before the byte-wide tail fields so the
+	// trailing scalars pack into one word: 152 -> 144 bytes per arena
+	// slot.)
 	refp1 int32
+	// Pending is the engine's transient ejection reason for the worm.
+	Pending StopReason
 	// owned marks messages whose storage belongs to a Pool's arena and is
 	// recycled on Free; adopted foreign messages stay false and are simply
 	// unregistered.

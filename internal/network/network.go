@@ -632,6 +632,8 @@ func (nw *Network) routeAndAllocate() {
 // scheduler it visits only the router's active lanes; the dense-VC
 // ablation nests over all Ports()×V. Both orders are port-major/VC-minor,
 // so rng draws are identical.
+//
+//simlint:phase compute
 func (w *worker) routeNode(node topology.NodeID) {
 	rt := w.nw.routers[node]
 	if w.nw.vcTrack {
@@ -655,6 +657,8 @@ func (w *worker) routeNode(node topology.NodeID) {
 // node, if its front flit is a head that is ready and unrouted. The
 // candidate scratch w.freeVCs is reused across calls; the VC pick draws
 // from the router's own stream (see Network.rngs).
+//
+//simlint:phase compute
 func (w *worker) allocateLane(node topology.NodeID, rt *router.Router, port, vc int) {
 	nw := w.nw
 	ivc := &rt.In[port][vc]
@@ -730,6 +734,8 @@ func (nw *Network) switchTraversal() {
 // link bandwidth), and (b) ejection drains each absorbing/delivering VC at
 // one flit per cycle (assumption (d): messages transfer to the PE as soon
 // as they arrive).
+//
+//simlint:phase compute
 func (w *worker) switchNode(node topology.NodeID) {
 	nw := w.nw
 	rt := nw.routers[node]
@@ -784,6 +790,8 @@ func (w *worker) switchNode(node topology.NodeID) {
 // gatherLane inspects input lane (port, vc): routed eject lanes drain
 // immediately (per-VC ejection, no arbitration), routed network lanes file
 // a crossbar request into their output port's bucket.
+//
+//simlint:phase compute
 func (w *worker) gatherLane(node topology.NodeID, rt *router.Router, port, vc int) {
 	ivc := &rt.In[port][vc]
 	if !ivc.HasRoute || ivc.Buf.Len() == 0 {
@@ -798,6 +806,8 @@ func (w *worker) gatherLane(node topology.NodeID, rt *router.Router, port, vc in
 
 // moveNetwork sends the front flit of input (port, vc) through its
 // allocated output VC to the neighbouring router.
+//
+//simlint:phase compute
 func (w *worker) moveNetwork(node topology.NodeID, rt *router.Router, port, vc int) {
 	nw := w.nw
 	ivc := &rt.In[port][vc]
@@ -842,6 +852,8 @@ func (nw *Network) refreshReady(ivc *router.InVC) {
 // message to the pool, the in-flight counter — goes through the worker's
 // effect channel (emit), which applies it immediately on the serial path
 // and stages it for the ordered commit on the parallel one.
+//
+//simlint:phase compute
 func (w *worker) moveEject(node topology.NodeID, rt *router.Router, port, vc int) {
 	nw := w.nw
 	ivc := &rt.In[port][vc]
@@ -884,6 +896,8 @@ func (nw *Network) requeue(node topology.NodeID, ref message.Ref) {
 // returnCredit stages a credit for the upstream output VC feeding input
 // (port, vc) of node. Injection-port buffers are fed by the local source,
 // which checks space directly, so they carry no credits.
+//
+//simlint:phase compute
 func (w *worker) returnCredit(node topology.NodeID, port, vc int) {
 	nw := w.nw
 	if port >= nw.t.Degree() {
@@ -914,6 +928,8 @@ func (nw *Network) inject() {
 }
 
 // injectNode runs one node's software-layer injection for this cycle.
+//
+//simlint:phase compute
 func (w *worker) injectNode(node topology.NodeID) {
 	nw := w.nw
 	w.startStreams(node)
@@ -959,6 +975,8 @@ func (w *worker) injectNode(node topology.NodeID) {
 // queue first. A message's header is validated against the fault set at
 // start time: a blocked first hop is re-planned in software before the worm
 // ever enters the network.
+//
+//simlint:phase compute
 func (w *worker) startStreams(node topology.NodeID) {
 	nw := w.nw
 	rt := nw.routers[node]
@@ -1055,6 +1073,8 @@ func (nw *Network) popQueue(node topology.NodeID) {
 // prepareForInjection runs the injection-time fault check: if the message's
 // required first hop is faulty, the messaging layer replans before the worm
 // enters the network. Reports false when the message is undeliverable.
+//
+//simlint:phase compute
 func (w *worker) prepareForInjection(node topology.NodeID, m *message.Message) bool {
 	for guard := 0; guard < 4; guard++ {
 		dec := w.alg.Route(node, m)

@@ -213,6 +213,8 @@ func (w *worker) emitTrace(tk trace.Kind, msg uint64, node topology.NodeID) {
 // serial worker calls it inline (so the serial engine's behaviour is the
 // reference by construction); the parallel commit replays logs through it
 // in the serial order.
+//
+//simlint:phase commit
 func (nw *Network) applyFx(r fxRec) {
 	switch r.kind {
 	case fxTrace:
@@ -319,6 +321,8 @@ func (nw *Network) runParallel(f func(*worker)) {
 
 // phaseA runs the three per-router phases over the worker's slice of the
 // worklist, in the serial engine's node-ascending, phase-major order.
+//
+//simlint:phase compute
 func (w *worker) phaseA() {
 	nw := w.nw
 	work := nw.work[w.workLo:w.workHi]
@@ -346,6 +350,8 @@ func (w *worker) phaseA() {
 // walking its work slice in ascending node order, and domains cover
 // ascending node ranges, so the replay order is exactly the serial
 // engine's global node-ascending order for that phase.
+//
+//simlint:phase commit
 func (nw *Network) commitEffects() {
 	for ph := 0; ph < numPhases; ph++ {
 		for _, w := range nw.par {
@@ -361,6 +367,8 @@ func (nw *Network) commitEffects() {
 // and retires drained routers. Each (sender, receiver) mailbox is drained
 // only here, only by its receiver, after the phase barrier — so phase B
 // reads nothing any other goroutine is writing.
+//
+//simlint:phase commit
 func (w *worker) phaseB() {
 	nw := w.nw
 	// Injection-channel transfers: staged by this worker, always addressed

@@ -188,7 +188,20 @@ func (nw *Network) purgeFailure(tr fault.Transition) {
 	// back to this VC. Pending credit events are NOT dropped: as surviving
 	// occupants pop, their credits arrive and the count converges to a
 	// full buffer, which is exactly what a later heal must find.
+	// The walk runs in sorted (Src, Port) order: the per-channel resets
+	// are independent today, but sorting removes map-iteration order from
+	// the engine's state trajectory outright.
+	deadCh := make([]topology.ChannelID, 0, len(dead))
 	for ch := range dead {
+		deadCh = append(deadCh, ch)
+	}
+	sort.Slice(deadCh, func(i, j int) bool {
+		if deadCh[i].Src != deadCh[j].Src {
+			return deadCh[i].Src < deadCh[j].Src
+		}
+		return deadCh[i].Port < deadCh[j].Port
+	})
+	for _, ch := range deadCh {
 		down := nw.linkFor(ch.Src, ch.Port).dst
 		inPort := int(ch.Port.Opposite())
 		for vc := 0; vc < nw.p.V; vc++ {

@@ -108,20 +108,23 @@ func (q *FlitQueue) Filter(drop func(message.Flit) bool) int {
 // allocation until the tail flit leaves (wormhole channel reservation).
 type InVC struct {
 	Buf FlitQueue
+	// OutPort/OutVC are the allocated route while HasRoute && !ToEject.
+	OutPort topology.Port
+	OutVC   int
+	// ReadyAt is the earliest cycle the head may take its routing decision
+	// (models the router decision time Td of assumption (f)).
+	ReadyAt int64
+	// Owner is the worm holding the route — valid only while HasRoute. The
+	// fault-transition purge uses it to find every lane a dying worm has
+	// reserved; steady-state routing never reads it. (The word-aligned
+	// fields above precede the narrow ones so each lane packs into 72
+	// bytes instead of 80.)
+	Owner message.Ref
 	// HasRoute marks an allocated route for the front worm.
 	HasRoute bool
 	// ToEject routes the worm to the local ejection port (delivery or
 	// software absorption); OutPort/OutVC are meaningful otherwise.
 	ToEject bool
-	OutPort topology.Port
-	OutVC   int
-	// Owner is the worm holding the route — valid only while HasRoute. The
-	// fault-transition purge uses it to find every lane a dying worm has
-	// reserved; steady-state routing never reads it.
-	Owner message.Ref
-	// ReadyAt is the earliest cycle the head may take its routing decision
-	// (models the router decision time Td of assumption (f)).
-	ReadyAt int64
 }
 
 // OutVC is one output virtual channel: ownership (a worm holds it from head

@@ -32,7 +32,9 @@ type schedSource struct {
 	meanRate float64
 	nextID   uint64
 	created  uint64
-	out      []*message.Message // Poll's reused result buffer
+	// out is Poll's reused result buffer.
+	//simlint:ignore reflife -- pre-adoption scratch: messages are heap-built here and pooled only when Network.Enqueue adopts them; reset at the top of every Poll
+	out []*message.Message
 }
 
 // newSched builds the chassis after validating the env.
