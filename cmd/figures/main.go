@@ -24,14 +24,18 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
+	"repro/internal/coord"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/sweep"
@@ -50,6 +54,7 @@ func main() {
 		shardSpec  = flag.String("shard", "", "run only shard i of n ('i/n') of each figure's sweep")
 		mergeList  = flag.String("merge", "", "comma-separated shard journals to merge into -checkpoint before rendering")
 		topo       = flag.String("topo", "", "topology family overriding every figure's torus (e.g. mesh); each figure's k/n are rewritten into the spec, other parameters (latmap) kept; fault-region figures need the shapes to fit the network")
+		coordURL   = flag.String("coordinator", "", "submit every figure sweep to a coordinator fleet (swsim -serve / -worker) instead of simulating locally")
 	)
 	flag.Parse()
 
@@ -79,8 +84,12 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "figures: merged into %s (%d distinct points)\n", *checkpoint, total)
 	}
+	if *coordURL != "" && (*checkpoint != "" || shard.Count > 1 || *mergeList != "") {
+		fmt.Fprintln(os.Stderr, "figures: -coordinator conflicts with -checkpoint/-shard/-merge (the coordinator owns the journal; its workers are the shards)")
+		os.Exit(2)
+	}
 	h := &harness{scale: sc, workers: *workers, seeds: *seeds, csv: *csv, plot: *plot,
-		checkpoint: *checkpoint, shard: shard, topo: *topo}
+		checkpoint: *checkpoint, shard: shard, topo: *topo, coordinator: *coordURL}
 
 	start := time.Now()
 	switch *fig {
@@ -150,6 +159,11 @@ type harness struct {
 	// k/n parameters per point, so size-varying figures keep truthful
 	// labels.
 	topo string
+	// coordinator, when set, is the base URL of a sweep coordinator
+	// (swsim -serve); every figure sweep is submitted there and served by
+	// the worker fleet (and, on repeat runs, by the result cache) instead
+	// of simulating locally.
+	coordinator string
 }
 
 // topoFor resolves the -topo override for a figure point of the given
@@ -221,9 +235,22 @@ func (h *harness) sweepOptions() sweep.Options {
 // run executes the named figure sweep through the sweep subsystem
 // (resumable via -checkpoint, splittable via -shard) and indexes results
 // by label. Points owned by other shards carry sweep.ErrSkipped and
-// render as skippedCell.
+// render as skippedCell. With -coordinator the plan goes to the fleet
+// instead; point identity is the content digest, so a figure re-render
+// against a warm coordinator is pure cache.
 func (h *harness) run(name string, points []core.Point) map[string]core.PointResult {
-	res, err := sweep.Run(sweep.Plan{Name: name, Points: points}, h.sweepOptions())
+	plan := sweep.Plan{Name: name, Points: points}
+	var res []core.PointResult
+	var err error
+	if h.coordinator != "" {
+		c := coord.NewClient(h.coordinator)
+		c.Log = os.Stderr
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		res, err = c.RunPlan(ctx, plan)
+		stop()
+	} else {
+		res, err = sweep.Run(plan, h.sweepOptions())
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "figures: %s: %v\n", name, err)
 		os.Exit(1)

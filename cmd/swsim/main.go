@@ -105,6 +105,10 @@ func main() {
 		findSat    = flag.Bool("find-sat", false, "bisection auto-search for the saturation λ instead of a fixed grid")
 		satFactor  = flag.Float64("sat-factor", 3, "saturation threshold as a multiple of zero-load latency (with -find-sat)")
 
+		serveSpec  = flag.String("serve", "", "run as a sweep coordinator: 'addr=:8080,checkpoint=coord.jsonl[,lease=15s][,retries=3]' (ignores simulation flags)")
+		workerSpec = flag.String("worker", "", "run as a sweep worker: 'url=http://host:8080[,name=w1][,exit=drain|never][,stall=5s][,engine-workers=N]'")
+		coordURL   = flag.String("coordinator", "", "with -sweep: submit the sweep to a coordinator fleet instead of running locally ('url=http://host:8080' or a bare URL)")
+
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with 'go tool pprof')")
 		memprofile = flag.String("memprofile", "", "write an end-of-run heap profile to this file (inspect with 'go tool pprof')")
 	)
@@ -112,6 +116,22 @@ func main() {
 
 	if *list {
 		core.PrintRegistries(os.Stdout, "")
+		return
+	}
+
+	// The service modes are standalone processes: they take no simulation
+	// flags (the coordinator never simulates; the worker gets its configs
+	// from leased points).
+	if *serveSpec != "" && *workerSpec != "" {
+		fmt.Fprintln(os.Stderr, "swsim: -serve and -worker are separate processes (start one of each)")
+		os.Exit(2)
+	}
+	if *serveSpec != "" {
+		runServe(*serveSpec)
+		return
+	}
+	if *workerSpec != "" {
+		runWorker(*workerSpec)
 		return
 	}
 
@@ -174,6 +194,16 @@ func main() {
 	if *findSat && *sweepGrid != "" {
 		fmt.Fprintln(os.Stderr, "swsim: -find-sat and -sweep are mutually exclusive (the search picks its own λ probes)")
 		os.Exit(2)
+	}
+	if *coordURL != "" {
+		if *sweepGrid == "" {
+			fmt.Fprintln(os.Stderr, "swsim: -coordinator applies to -sweep mode only (the fleet runs grid points)")
+			os.Exit(2)
+		}
+		if *checkpoint != "" || shard.Count > 1 || *mergeList != "" {
+			fmt.Fprintln(os.Stderr, "swsim: -coordinator conflicts with -checkpoint/-shard/-merge (the coordinator owns the journal; its workers are the shards)")
+			os.Exit(2)
+		}
 	}
 	if *findSat && shard.Count > 1 {
 		fmt.Fprintln(os.Stderr, "swsim: -find-sat cannot be sharded (each probe depends on the previous one); run it unsharded with -checkpoint to make it resumable")
@@ -240,7 +270,7 @@ func main() {
 		return
 	}
 	if *sweepGrid != "" {
-		runSweepGrid(cfg, grid, opt, *quiet, *jsonOut)
+		runSweepGrid(cfg, grid, opt, *coordURL, *quiet, *jsonOut)
 		return
 	}
 
@@ -419,8 +449,11 @@ func parseRange(s string) (lo, hi, step float64, err error) {
 
 // runSweepGrid runs one point per λ of the grid through the sweep
 // subsystem and prints rows in grid order. Points owned by other shards
-// (and absent from the checkpoint) are omitted from the output.
-func runSweepGrid(base core.Config, grid []float64, opt sweep.Options, quiet, jsonOut bool) {
+// (and absent from the checkpoint) are omitted from the output. With a
+// coordinator URL the plan is submitted to the fleet instead of running
+// locally; point identity is the content digest, so the rows are
+// byte-identical either way.
+func runSweepGrid(base core.Config, grid []float64, opt sweep.Options, coordURL string, quiet, jsonOut bool) {
 	plan := sweep.Plan{Name: "swsim", Points: make([]core.Point, len(grid))}
 	for i, l := range grid {
 		cfg := base
@@ -428,7 +461,13 @@ func runSweepGrid(base core.Config, grid []float64, opt sweep.Options, quiet, js
 		plan.Points[i] = core.Point{Label: fmt.Sprintf("swsim|l%g", l), Config: cfg}
 	}
 	start := time.Now()
-	results, err := sweep.Run(plan, opt)
+	var results []core.PointResult
+	var err error
+	if coordURL != "" {
+		results, err = runPlanViaCoordinator(coordURL, plan)
+	} else {
+		results, err = sweep.Run(plan, opt)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "swsim: %v\n", err)
 		os.Exit(1)

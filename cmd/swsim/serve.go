@@ -1,0 +1,205 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/coord"
+	"repro/internal/core"
+	"repro/internal/sweep"
+)
+
+// parseKV parses a comma-separated key=value spec ("addr=:8080,
+// checkpoint=coord.jsonl"). Values may contain '=' (only the first one
+// splits) and the allowed key set is closed, so a typo fails loudly
+// instead of being silently ignored.
+func parseKV(flagName, spec string, allowed ...string) (map[string]string, error) {
+	kv := map[string]string{}
+	for _, pair := range strings.Split(spec, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(pair, "=")
+		if !ok || key == "" {
+			return nil, fmt.Errorf("-%s: bad pair %q (want key=value)", flagName, pair)
+		}
+		found := false
+		for _, a := range allowed {
+			if key == a {
+				found = true
+				break
+			}
+		}
+		if !found {
+			sort.Strings(allowed)
+			return nil, fmt.Errorf("-%s: unknown key %q (allowed: %s)", flagName, key, strings.Join(allowed, ", "))
+		}
+		if _, dup := kv[key]; dup {
+			return nil, fmt.Errorf("-%s: duplicate key %q", flagName, key)
+		}
+		kv[key] = val
+	}
+	return kv, nil
+}
+
+// signalCtx is the graceful-shutdown context shared by the service
+// modes: SIGTERM/SIGINT cancel it, which drains the worker (finish the
+// in-flight point, submit, exit) and shuts the coordinator's listener
+// down without dropping journal writes in progress.
+func signalCtx() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+// runServe is swsim -serve: the long-running coordinator.
+//
+//	swsim -serve 'addr=:8080,checkpoint=coord.jsonl,lease=15s,retries=3'
+func runServe(spec string) {
+	kv, err := parseKV("serve", spec, "addr", "checkpoint", "lease", "retries")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "swsim: %v\n", err)
+		os.Exit(2)
+	}
+	addr := kv["addr"]
+	if addr == "" {
+		addr = ":8080"
+	}
+	opt := coord.ServerOptions{Checkpoint: kv["checkpoint"], Now: time.Now, Log: os.Stderr}
+	if opt.Checkpoint == "" {
+		fmt.Fprintln(os.Stderr, "swsim: -serve requires checkpoint= (the journal completed records append to)")
+		os.Exit(2)
+	}
+	if v := kv["lease"]; v != "" {
+		if opt.LeaseTTL, err = time.ParseDuration(v); err != nil || opt.LeaseTTL <= 0 {
+			fmt.Fprintf(os.Stderr, "swsim: -serve: bad lease=%q (want a positive duration like 15s)\n", v)
+			os.Exit(2)
+		}
+	}
+	opt.MaxRetries = -1 // default unless retries= says otherwise (0 is meaningful: fail on first expiry)
+	if v := kv["retries"]; v != "" {
+		if opt.MaxRetries, err = strconv.Atoi(v); err != nil || opt.MaxRetries < 0 {
+			fmt.Fprintf(os.Stderr, "swsim: -serve: bad retries=%q (want an integer >= 0)\n", v)
+			os.Exit(2)
+		}
+	}
+
+	s, err := coord.NewServer(opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "swsim: %v\n", err)
+		os.Exit(1)
+	}
+	hs := &http.Server{Addr: addr, Handler: s.Handler()}
+	ctx, stop := signalCtx()
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		fmt.Fprintln(os.Stderr, "swsim: coordinator shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(shutdownCtx)
+	}()
+	fmt.Fprintf(os.Stderr, "swsim: coordinator listening on %s (journal %s)\n", addr, opt.Checkpoint)
+	err = hs.ListenAndServe()
+	if cerr := s.Close(); err == nil || errors.Is(err, http.ErrServerClosed) {
+		err = cerr
+	}
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "swsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// runWorker is swsim -worker: the pull loop that leases points from a
+// coordinator and simulates them.
+//
+//	swsim -worker 'url=http://host:8080,name=w1,exit=drain'
+func runWorker(spec string) {
+	kv, err := parseKV("worker", spec, "url", "name", "exit", "stall", "engine-workers")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "swsim: %v\n", err)
+		os.Exit(2)
+	}
+	if kv["url"] == "" {
+		fmt.Fprintln(os.Stderr, "swsim: -worker requires url= (the coordinator address)")
+		os.Exit(2)
+	}
+	name := kv["name"]
+	if name == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	w := &coord.Worker{Client: coord.NewClient(kv["url"]), Name: name, Log: os.Stderr}
+	switch kv["exit"] {
+	case "", "never":
+	case "drain":
+		w.ExitOnDrain = true
+	default:
+		fmt.Fprintf(os.Stderr, "swsim: -worker: bad exit=%q (want drain or never)\n", kv["exit"])
+		os.Exit(2)
+	}
+	if v := kv["stall"]; v != "" {
+		if w.Stall, err = time.ParseDuration(v); err != nil || w.Stall < 0 {
+			fmt.Fprintf(os.Stderr, "swsim: -worker: bad stall=%q (want a duration like 5s)\n", v)
+			os.Exit(2)
+		}
+	}
+	if v := kv["engine-workers"]; v != "" {
+		if w.EngineWorkers, err = strconv.Atoi(v); err != nil || w.EngineWorkers < 0 {
+			fmt.Fprintf(os.Stderr, "swsim: -worker: bad engine-workers=%q (want an integer >= 0)\n", v)
+			os.Exit(2)
+		}
+	}
+	ctx, stop := signalCtx()
+	defer stop()
+	n, err := w.Run(ctx)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "swsim: worker %s: %v (after %d points)\n", name, err, n)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "swsim: worker %s: done (%d points)\n", name, n)
+}
+
+// parseCoordinatorURL parses the -coordinator flag, which accepts
+// either a bare URL or a url= spec for symmetry with -serve/-worker.
+func parseCoordinatorURL(spec string) (string, error) {
+	if !strings.Contains(spec, "=") {
+		return spec, nil
+	}
+	kv, err := parseKV("coordinator", spec, "url")
+	if err != nil {
+		return "", err
+	}
+	if kv["url"] == "" {
+		return "", fmt.Errorf("-coordinator: empty url")
+	}
+	return kv["url"], nil
+}
+
+// runPlanViaCoordinator submits the plan to a coordinator fleet and
+// polls until every point is served from the result cache — the
+// fleet-backed drop-in for sweep.Run. SIGTERM/SIGINT abort the wait
+// (the fleet keeps computing; a re-run picks the results up from the
+// cache).
+func runPlanViaCoordinator(spec string, plan sweep.Plan) ([]core.PointResult, error) {
+	url, err := parseCoordinatorURL(spec)
+	if err != nil {
+		return nil, err
+	}
+	ctx, stop := signalCtx()
+	defer stop()
+	c := coord.NewClient(url)
+	c.Log = os.Stderr
+	return c.RunPlan(ctx, plan)
+}

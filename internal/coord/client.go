@@ -1,0 +1,282 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/sweep"
+)
+
+// APIError is a coordinator-level rejection (a decoded {"error": ...}
+// response). Transport failures stay ordinary errors; the distinction
+// drives retry policy — transport errors and 5xx retry with backoff,
+// 4xx/409 are definitive.
+type APIError struct {
+	// StatusCode is the HTTP status of the rejection.
+	StatusCode int
+	// Msg is the coordinator's error message.
+	Msg string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("coordinator: %s (HTTP %d)", e.Msg, e.StatusCode)
+}
+
+// Retryable reports whether an error from a Client call is worth
+// retrying: transport failures (coordinator unreachable, connection
+// reset) and 5xx responses are; 4xx rejections — bad request, unknown
+// point, lost lease, conflicting result — are definitive.
+func Retryable(err error) bool {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.StatusCode >= 500
+	}
+	return err != nil
+}
+
+// Client is a typed coordinator API client. Methods are single-shot
+// (one HTTP round trip); the retry loops with jittered exponential
+// backoff live in RunPlan and Worker, built on Backoff.
+type Client struct {
+	// URL is the coordinator base URL, e.g. "http://host:8080".
+	URL string
+	// HTTP is the underlying client; nil uses a 30s-timeout default.
+	HTTP *http.Client
+	// PollInterval is RunPlan's result-poll cadence; 0 means 250ms.
+	PollInterval time.Duration
+	// Log, when non-nil, receives one-line progress notes.
+	Log io.Writer
+}
+
+// NewClient returns a client for the coordinator at url.
+func NewClient(url string) *Client {
+	return &Client{URL: url}
+}
+
+func (c *Client) logf(format string, args ...any) {
+	if c.Log != nil {
+		fmt.Fprintf(c.Log, format+"\n", args...)
+	}
+}
+
+// do POSTs req as JSON to path and decodes the response into resp.
+func (c *Client) do(path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("coord: marshal request: %w", err)
+	}
+	hc := c.HTTP
+	if hc == nil {
+		hc = &http.Client{Timeout: 30 * time.Second}
+	}
+	r, err := hc.Post(c.URL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("coord: %s: %w", path, err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		msg := fmt.Sprintf("%s: unexpected status", path)
+		if json.NewDecoder(r.Body).Decode(&e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+		return &APIError{StatusCode: r.StatusCode, Msg: msg}
+	}
+	if resp == nil {
+		return nil
+	}
+	if err := json.NewDecoder(r.Body).Decode(resp); err != nil {
+		return fmt.Errorf("coord: %s: decode response: %w", path, err)
+	}
+	return nil
+}
+
+// SubmitPlan registers the plan's points with the coordinator.
+func (c *Client) SubmitPlan(plan sweep.Plan) (PlanResponse, error) {
+	var resp PlanResponse
+	err := c.do("/v1/plan", PlanRequest{Name: plan.Name, Points: plan.Wire()}, &resp)
+	return resp, err
+}
+
+// Lease requests one point of work for the named worker.
+func (c *Client) Lease(worker string) (LeaseResponse, error) {
+	var resp LeaseResponse
+	err := c.do("/v1/lease", LeaseRequest{Worker: worker}, &resp)
+	return resp, err
+}
+
+// Renew heartbeats a held lease.
+func (c *Client) Renew(id, token string) error {
+	return c.do("/v1/renew", RenewRequest{ID: id, Token: token}, nil)
+}
+
+// SubmitResult delivers one completed record.
+func (c *Client) SubmitResult(id, token string, rec sweep.Record) (ResultResponse, error) {
+	var resp ResultResponse
+	err := c.do("/v1/result", ResultRequest{ID: id, Token: token, Record: rec}, &resp)
+	return resp, err
+}
+
+// Results looks up the given point IDs in the coordinator's cache.
+func (c *Client) Results(ids []string) (ResultsResponse, error) {
+	var resp ResultsResponse
+	err := c.do("/v1/results", ResultsRequest{IDs: ids}, &resp)
+	return resp, err
+}
+
+// Status fetches /statusz.
+func (c *Client) Status() (Status, error) {
+	hc := c.HTTP
+	if hc == nil {
+		hc = &http.Client{Timeout: 30 * time.Second}
+	}
+	r, err := hc.Get(c.URL + "/statusz")
+	if err != nil {
+		return Status{}, fmt.Errorf("coord: /statusz: %w", err)
+	}
+	defer r.Body.Close()
+	var st Status
+	if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+		return Status{}, fmt.Errorf("coord: /statusz: decode: %w", err)
+	}
+	return st, nil
+}
+
+// RunPlan is the fleet-served analogue of sweep.Run: submit the plan,
+// then poll the result cache until every point is completed or failed,
+// returning results in plan order. Already-computed points come back on
+// the first poll without any simulation (the cache path); fresh points
+// wait on the worker fleet. Transport failures retry forever with
+// jittered exponential backoff — a restarting coordinator resumes the
+// same queue, so waiting is correct — until ctx is cancelled;
+// coordinator rejections (version skew, conflicts) abort.
+func (c *Client) RunPlan(ctx context.Context, plan sweep.Plan) ([]core.PointResult, error) {
+	bo := NewBackoff("runplan")
+	var submitted PlanResponse
+	for {
+		var err error
+		submitted, err = c.SubmitPlan(plan)
+		if err == nil {
+			break
+		}
+		if !Retryable(err) {
+			return nil, err
+		}
+		c.logf("coord: submit plan %s: %v (retrying)", plan.Name, err)
+		if !sleepCtx(ctx, bo.Next()) {
+			return nil, ctx.Err()
+		}
+	}
+	c.logf("coord: plan %s: %d points (%d cached, %d queued, %d failed)",
+		plan.Name, submitted.Total, submitted.Done, submitted.Queued, submitted.Failed)
+
+	ids := plan.IDs()
+	positions := map[string][]int{} // a plan may repeat a point; fill every slot
+	for i, id := range ids {
+		positions[id] = append(positions[id], i)
+	}
+	results := make([]core.PointResult, len(plan.Points))
+	pending := make([]string, 0, len(positions))
+	for id := range positions {
+		pending = append(pending, id)
+	}
+	poll := c.PollInterval
+	if poll <= 0 {
+		poll = 250 * time.Millisecond
+	}
+	bo.Reset()
+	for len(pending) > 0 {
+		resp, err := c.Results(pending)
+		if err != nil {
+			if !Retryable(err) {
+				return nil, err
+			}
+			c.logf("coord: poll results: %v (retrying)", err)
+			if !sleepCtx(ctx, bo.Next()) {
+				return nil, ctx.Err()
+			}
+			continue
+		}
+		bo.Reset()
+		var still []string
+		for _, id := range pending {
+			if rec, ok := resp.Records[id]; ok {
+				for _, i := range positions[id] {
+					results[i] = rec.Result(plan.Points[i])
+				}
+				continue
+			}
+			if reason, ok := resp.Failed[id]; ok {
+				for _, i := range positions[id] {
+					results[i] = core.PointResult{Point: plan.Points[i],
+						Err: fmt.Errorf("coordinator: point failed: %s", reason)}
+				}
+				continue
+			}
+			still = append(still, id)
+		}
+		pending = still
+		if len(pending) > 0 && !sleepCtx(ctx, poll) {
+			return nil, ctx.Err()
+		}
+	}
+	return results, nil
+}
+
+// Backoff produces jittered exponential retry delays: 100ms doubling to
+// a 5s cap, each multiplied by a uniform factor in [0.5, 1.5) so a
+// fleet of workers losing the coordinator together does not reconnect
+// in lockstep. The jitter stream is seeded from the label (worker
+// name), which keeps the service layer off ambient entropy (the
+// rngpurity contract) while de-phasing distinct workers.
+type Backoff struct {
+	attempt   int
+	base, cap time.Duration
+	stream    *rng.Stream
+}
+
+// NewBackoff returns a backoff sequence seeded from label.
+func NewBackoff(label string) *Backoff {
+	h := fnv.New64a()
+	_, _ = io.WriteString(h, label)
+	return &Backoff{base: 100 * time.Millisecond, cap: 5 * time.Second, stream: rng.New(h.Sum64())}
+}
+
+// Next returns the next delay and advances the sequence.
+func (b *Backoff) Next() time.Duration {
+	d := b.base << b.attempt
+	if d > b.cap || d <= 0 {
+		d = b.cap
+	} else {
+		b.attempt++
+	}
+	jitter := 0.5 + b.stream.Float64()
+	return time.Duration(float64(d) * jitter)
+}
+
+// Reset rewinds to the initial delay after a success.
+func (b *Backoff) Reset() { b.attempt = 0 }
+
+// sleepCtx sleeps for d unless ctx ends first, reporting whether the
+// full sleep elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

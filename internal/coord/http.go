@@ -1,0 +1,174 @@
+package coord
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/sweep"
+)
+
+// The wire protocol is JSON over POST (reads included: batch lookups
+// carry bodies), plus two GET observability endpoints. Every error
+// response is {"error": "..."} with a meaningful status code; 409 marks
+// the two coordination-specific rejections (lost lease on renew,
+// conflicting result on submit) that clients must handle distinctly.
+
+// PlanRequest is the body of POST /v1/plan.
+type PlanRequest struct {
+	// Name labels the plan in coordinator logs.
+	Name string `json:"name"`
+	// Points are the plan's points in wire form (sweep.Plan.Wire).
+	Points []sweep.PlanPoint `json:"points"`
+}
+
+// PlanResponse reports the submission outcome per point category.
+type PlanResponse struct {
+	// Total = Done + Queued + Failed.
+	Total int `json:"total"`
+	// Done points already had cached records (served without simulation).
+	Done int `json:"done"`
+	// Queued points await (or are under) a worker lease — newly queued
+	// and already-known alike.
+	Queued int `json:"queued"`
+	// Failed points previously exhausted their lease retries.
+	Failed int `json:"failed"`
+}
+
+// LeaseRequest is the body of POST /v1/lease.
+type LeaseRequest struct {
+	// Worker is the requester's self-reported name, for the /statusz
+	// lease table.
+	Worker string `json:"worker"`
+}
+
+// LeaseResponse carries a work assignment, or idleness.
+type LeaseResponse struct {
+	// Point is the leased point; nil when nothing is queued.
+	Point *sweep.PlanPoint `json:"point,omitempty"`
+	// Token identifies this lease in Renew and result submission.
+	Token string `json:"token,omitempty"`
+	// TTLMs is the lease duration in milliseconds; workers heartbeat at
+	// a fraction of it.
+	TTLMs int64 `json:"ttl_ms,omitempty"`
+	// Drained is set on idle responses when no work is queued or leased
+	// anywhere — a batch fleet can exit (worker exit=drain).
+	Drained bool `json:"drained,omitempty"`
+}
+
+// RenewRequest is the body of POST /v1/renew (the worker heartbeat).
+type RenewRequest struct {
+	ID    string `json:"id"`
+	Token string `json:"token"`
+}
+
+// ResultRequest is the body of POST /v1/result.
+type ResultRequest struct {
+	// ID is the completed point; Token the lease it ran under (advisory:
+	// late results are accepted, see Server.SubmitResult).
+	ID    string `json:"id"`
+	Token string `json:"token"`
+	// Record is the completed record, exactly as a local sweep would
+	// journal it.
+	Record sweep.Record `json:"record"`
+}
+
+// ResultResponse acknowledges a submission: "accepted" for a new
+// record, "duplicate" for an agreeing re-submission.
+type ResultResponse struct {
+	Status string `json:"status"`
+}
+
+// ResultsRequest is the body of POST /v1/results (batch cache lookup).
+type ResultsRequest struct {
+	IDs []string `json:"ids"`
+}
+
+// ResultsResponse partitions the requested IDs: cached records, failure
+// reasons for retry-exhausted points, and IDs still pending.
+type ResultsResponse struct {
+	Records map[string]sweep.Record `json:"records"`
+	Failed  map[string]string       `json:"failed,omitempty"`
+	Pending []string                `json:"pending,omitempty"`
+}
+
+// httpError is an error with an HTTP status; handlers unwrap it to pick
+// the response code (plain errors map to 500).
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+// Handler returns the coordinator's HTTP API:
+//
+//	GET  /healthz     liveness ("ok")
+//	GET  /statusz     Status JSON (counters + lease table)
+//	POST /v1/plan     PlanRequest    -> PlanResponse
+//	POST /v1/lease    LeaseRequest   -> LeaseResponse
+//	POST /v1/renew    RenewRequest   -> {} | 409
+//	POST /v1/result   ResultRequest  -> ResultResponse | 409 on conflict
+//	POST /v1/results  ResultsRequest -> ResultsResponse
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, &httpError{http.StatusMethodNotAllowed, "GET only"})
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, &httpError{http.StatusMethodNotAllowed, "GET only"})
+			return
+		}
+		writeJSON(w, s.Status())
+	})
+	post(mux, "/v1/plan", func(req PlanRequest) (PlanResponse, error) { return s.SubmitPlan(req) })
+	post(mux, "/v1/lease", func(req LeaseRequest) (LeaseResponse, error) { return s.Lease(req), nil })
+	post(mux, "/v1/renew", func(req RenewRequest) (struct{}, error) { return struct{}{}, s.Renew(req) })
+	post(mux, "/v1/result", func(req ResultRequest) (ResultResponse, error) { return s.SubmitResult(req) })
+	post(mux, "/v1/results", func(req ResultsRequest) (ResultsResponse, error) { return s.Results(req), nil })
+	return mux
+}
+
+// post registers a JSON POST endpoint: decode Req, call fn, encode Resp
+// or the error.
+func post[Req, Resp any](mux *http.ServeMux, path string, fn func(Req) (Resp, error)) {
+	mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(w, &httpError{http.StatusMethodNotAllowed, "POST only"})
+			return
+		}
+		var req Req
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, &httpError{http.StatusBadRequest, fmt.Sprintf("coord: bad request body: %v", err)})
+			return
+		}
+		resp, err := fn(req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, resp)
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	// Best-effort: an encode failure here means the connection died.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	if he, ok := err.(*httpError); ok {
+		status = he.status
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

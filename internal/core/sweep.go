@@ -94,6 +94,18 @@ func runSweep(points []Point, workers int, run func(Config) (metrics.Results, er
 	return results
 }
 
+// RunPointFunc executes one point with the pool's panic recovery but no
+// pool: a crashing configuration becomes PointResult.Err instead of a
+// process death. It is the per-point primitive behind RunSweepFunc,
+// exported for callers that schedule points one at a time — the sweep
+// coordinator's workers lease single points and must survive a
+// poisonous one exactly like a local pool does. run is the simulator
+// (core.Run outside tests).
+func RunPointFunc(pt Point, run func(Config) (metrics.Results, error)) PointResult {
+	res, err := runPointSafe(pt.Config, run)
+	return PointResult{Point: pt, Results: res, Err: err}
+}
+
 // runPointSafe converts a panicking point into an error so one bad
 // configuration cannot crash a whole sweep.
 func runPointSafe(c Config, run func(Config) (metrics.Results, error)) (res metrics.Results, err error) {

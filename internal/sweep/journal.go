@@ -29,32 +29,36 @@ type Record struct {
 	Err string `json:"err,omitempty"`
 }
 
-// Journal is an append-only JSONL checkpoint file. Opening a journal
-// recovers from a crashed writer by discarding a torn final line;
-// appends are single whole-line writes, so a process killed mid-sweep
-// (even with SIGKILL) loses at most the record being written, never a
-// previously completed one. Append is safe for concurrent use.
-type Journal struct {
-	mu      sync.Mutex
-	f       *os.File
-	records []Record
+// JSONL is an append-only file of newline-delimited JSON values of one
+// type. Opening it recovers from a crashed writer by discarding a torn
+// final line; appends are single whole-line writes, so a process killed
+// mid-append (even with SIGKILL) loses at most the value being written,
+// never a previously completed one. Append is safe for concurrent use.
+//
+// Journal (the sweep checkpoint) is JSONL[Record]; the coordinator's
+// plan journal is JSONL[PlanPoint]. Both inherit the same single-writer
+// torn-tail contract.
+type JSONL[T any] struct {
+	mu     sync.Mutex
+	f      *os.File
+	loaded []T
 }
 
-// OpenJournal opens (creating if absent) the journal at path, loads its
-// valid records, and truncates any torn final line so subsequent
+// OpenJSONL opens (creating if absent) the JSONL file at path, loads
+// its valid values, and truncates any torn final line so subsequent
 // appends start on a clean line boundary. The file is opened with
-// O_APPEND so every record lands at end-of-file rather than at a stale
-// tracked offset. A journal still has exactly one writer at a time —
+// O_APPEND so every write lands at end-of-file rather than at a stale
+// tracked offset. A file still has exactly one writer at a time —
 // shards journal into separate files — because the recovery truncate on
 // open can clip another writer's in-flight record; O_APPEND merely
 // bounds the damage of a mistaken double-open to torn lines instead of
 // interleaved overwrites.
-func OpenJournal(path string) (*Journal, error) {
+func OpenJSONL[T any](path string) (*JSONL[T], error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_APPEND|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("sweep: open journal: %w", err)
 	}
-	records, valid, err := scanRecords(f)
+	loaded, valid, err := scanJSONL[T](f)
 	if err != nil {
 		_ = f.Close() // best-effort: the scan/truncate error is the one to report
 		return nil, fmt.Errorf("sweep: read journal %s: %w", path, err)
@@ -65,47 +69,47 @@ func OpenJournal(path string) (*Journal, error) {
 		_ = f.Close() // best-effort: the scan/truncate error is the one to report
 		return nil, fmt.Errorf("sweep: recover journal %s: %w", path, err)
 	}
-	return &Journal{f: f, records: records}, nil
+	return &JSONL[T]{f: f, loaded: loaded}, nil
 }
 
-// scanRecords parses newline-terminated records from r and returns them
+// scanJSONL parses newline-terminated values from r and returns them
 // with the byte offset just past the last valid one. A final line that
 // is unterminated or fails to parse — a writer died mid-append — is
 // dropped. A malformed line in the middle of the file is corruption,
 // not a torn write, and is an error.
-func scanRecords(r io.Reader) (records []Record, valid int64, err error) {
+func scanJSONL[T any](r io.Reader) (values []T, valid int64, err error) {
 	br := bufio.NewReader(r)
 	for {
 		line, err := br.ReadBytes('\n')
 		if err == io.EOF {
 			// Unterminated tail (possibly empty): torn write, drop it.
-			return records, valid, nil
+			return values, valid, nil
 		}
 		if err != nil {
 			return nil, 0, err
 		}
-		var rec Record
-		if jerr := json.Unmarshal(line, &rec); jerr != nil {
+		var v T
+		if jerr := json.Unmarshal(line, &v); jerr != nil {
 			if _, peekErr := br.ReadByte(); peekErr == io.EOF {
 				// Torn final line that happens to end in '\n' garbage is
 				// indistinguishable from corruption; but a parse failure on
 				// the very last line is overwhelmingly a torn write — drop.
-				return records, valid, nil
+				return values, valid, nil
 			}
 			return nil, 0, fmt.Errorf("corrupt record at byte %d: %w", valid, jerr)
 		}
-		records = append(records, rec)
+		values = append(values, v)
 		valid += int64(len(line))
 	}
 }
 
-// Records returns the records loaded when the journal was opened. It
-// does not include records appended since; Run loads before running.
-func (j *Journal) Records() []Record { return j.records }
+// Records returns the values loaded when the file was opened. It does
+// not include values appended since; Run loads before running.
+func (j *JSONL[T]) Records() []T { return j.loaded }
 
-// Append journals one completed record as a single whole-line write.
-func (j *Journal) Append(rec Record) error {
-	b, err := json.Marshal(rec)
+// Append journals one value as a single whole-line write.
+func (j *JSONL[T]) Append(v T) error {
+	b, err := json.Marshal(v)
 	if err != nil {
 		return fmt.Errorf("sweep: marshal record: %w", err)
 	}
@@ -119,22 +123,39 @@ func (j *Journal) Append(rec Record) error {
 }
 
 // Close closes the underlying file.
-func (j *Journal) Close() error { return j.f.Close() }
+func (j *JSONL[T]) Close() error { return j.f.Close() }
+
+// Journal is the sweep checkpoint: an append-only JSONL file of
+// completed-point Records.
+type Journal = JSONL[Record]
+
+// OpenJournal opens (creating if absent) the checkpoint journal at
+// path; see OpenJSONL for the recovery and single-writer contract.
+func OpenJournal(path string) (*Journal, error) {
+	return OpenJSONL[Record](path)
+}
 
 // ReadJournal loads the valid records of the journal at path without
 // opening it for writing; a torn final line is silently dropped, as in
 // OpenJournal.
 func ReadJournal(path string) ([]Record, error) {
+	return ReadJSONL[Record](path)
+}
+
+// ReadJSONL loads the valid values of the JSONL file at path without
+// opening it for writing; a torn final line is silently dropped, as in
+// OpenJSONL.
+func ReadJSONL[T any](path string) ([]T, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("sweep: open journal: %w", err)
 	}
 	defer f.Close()
-	records, _, err := scanRecords(f)
+	values, _, err := scanJSONL[T](f)
 	if err != nil {
 		return nil, fmt.Errorf("sweep: read journal %s: %w", path, err)
 	}
-	return records, nil
+	return values, nil
 }
 
 // MergeJournals combines the records of srcs into the journal at dst
@@ -164,9 +185,7 @@ func MergeJournals(dst string, srcs ...string) (int, error) {
 		}
 		for _, rec := range records {
 			if prev, ok := seen[rec.ID]; ok {
-				// DeepEqual rather than ==: Results carries slices (chaos
-				// windows/convergence) since dynamic faults landed.
-				if !reflect.DeepEqual(prev, rec) && !(prev.Err != "" && rec.Err != "") {
+				if !RecordsAgree(prev, rec) {
 					return 0, fmt.Errorf("sweep: merge %s: conflicting results for point %s (%q)", src, rec.ID, rec.Label)
 				}
 				continue
@@ -178,4 +197,21 @@ func MergeJournals(dst string, srcs ...string) (int, error) {
 		}
 	}
 	return len(seen), nil
+}
+
+// RecordsAgree reports whether two records for the same point ID are
+// consistent under the determinism contract: engine runs are
+// deterministic, so two successful records must match exactly
+// (DeepEqual rather than ==, because Results carries slices — chaos
+// windows/convergence — since dynamic faults landed). Two *failed*
+// records agree regardless of message text, because error strings
+// legitimately vary between runs of the same deterministic failure
+// (panic reports embed stack addresses). A disagreement means the
+// records came from diverging code or data; MergeJournals fails the
+// merge on one, and the sweep coordinator rejects the later submission.
+func RecordsAgree(a, b Record) bool {
+	if a.Err != "" && b.Err != "" {
+		return true
+	}
+	return reflect.DeepEqual(a, b)
 }

@@ -1,0 +1,231 @@
+package sweep
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// LeaseTable is the coordinator's bookkeeping for points that still
+// need computing: a FIFO queue of point IDs plus the set of leases
+// currently held by workers. It is a pure data structure — every method
+// that depends on time takes the current instant as an argument, so the
+// coordinator injects a real clock and tests a fake one — and it is not
+// concurrency-safe; the owner serialises access (the coordinator holds
+// its state mutex).
+//
+// Lifecycle of a point: Add queues it; Acquire leases the queue head to
+// a worker with a TTL; Renew extends a held lease (worker heartbeats);
+// Remove retires the point when its result arrives (regardless of who
+// holds the lease — results from expired leases are still valid, the
+// engine is deterministic). A lease whose TTL passes without renewal is
+// expired by Expire: the point re-queues for another worker, up to
+// MaxRetries re-assignments, after which it is marked failed — the
+// bounded-retry guard that keeps a point whose config crashes every
+// worker from looping forever.
+type LeaseTable struct {
+	// TTL is the lease duration granted by Acquire and restored by Renew.
+	TTL time.Duration
+	// MaxRetries bounds lease re-assignments per point: a point whose
+	// lease expires a (MaxRetries+1)-th time fails instead of re-queuing.
+	MaxRetries int
+
+	seq     uint64 // lease token counter
+	entries map[string]*leaseEntry
+	queue   []string // queued point IDs, FIFO
+}
+
+// leaseEntry tracks one point known to the table.
+type leaseEntry struct {
+	state   leaseState
+	worker  string
+	token   string
+	expiry  time.Time
+	retries int // expired-lease count so far
+	reason  string
+}
+
+type leaseState int
+
+const (
+	stateQueued leaseState = iota
+	stateLeased
+	stateFailed
+)
+
+// NewLeaseTable returns an empty table. ttl <= 0 defaults to 10s;
+// maxRetries < 0 defaults to 3 (0 is honoured: fail on first expiry).
+func NewLeaseTable(ttl time.Duration, maxRetries int) *LeaseTable {
+	if ttl <= 0 {
+		ttl = 10 * time.Second
+	}
+	if maxRetries < 0 {
+		maxRetries = 3
+	}
+	return &LeaseTable{TTL: ttl, MaxRetries: maxRetries, entries: map[string]*leaseEntry{}}
+}
+
+// Add queues a point for execution. Re-adding a known (queued, leased
+// or failed) point is a no-op returning false, so duplicate plan
+// submissions cannot double-queue work.
+func (t *LeaseTable) Add(id string) bool {
+	if _, ok := t.entries[id]; ok {
+		return false
+	}
+	t.entries[id] = &leaseEntry{state: stateQueued}
+	t.queue = append(t.queue, id)
+	return true
+}
+
+// Acquire leases the queue head to worker until now+TTL, returning
+// ok=false when nothing is queued. Callers sweep stale leases first
+// (Expire); Acquire itself never expires, so the owner controls when
+// expiry side effects (counters, logs) happen. The token is returned to
+// the worker and must accompany Renew; it is an assignment identifier,
+// not a secret.
+func (t *LeaseTable) Acquire(now time.Time, worker string) (id, token string, ok bool) {
+	if len(t.queue) == 0 {
+		return "", "", false
+	}
+	id = t.queue[0]
+	t.queue = t.queue[1:]
+	e := t.entries[id]
+	t.seq++
+	e.state = stateLeased
+	e.worker = worker
+	e.token = fmt.Sprintf("L%d", t.seq)
+	e.expiry = now.Add(t.TTL)
+	return id, e.token, true
+}
+
+// Renew extends the lease on id held under token until now+TTL. It
+// errors when the point is unknown, not leased, or leased under a
+// different token — the last is what a worker sees after its lease
+// expired and the point moved on (re-queued or re-leased), telling it
+// the coordinator no longer counts on it.
+func (t *LeaseTable) Renew(id, token string, now time.Time) error {
+	e, ok := t.entries[id]
+	if !ok {
+		return fmt.Errorf("sweep: renew %s: unknown or already completed point", id)
+	}
+	if e.state != stateLeased || e.token != token {
+		return fmt.Errorf("sweep: renew %s: lease %s no longer held (expired and re-assigned?)", id, token)
+	}
+	e.expiry = now.Add(t.TTL)
+	return nil
+}
+
+// Expire sweeps every lease whose TTL has passed as of now: requeued
+// returns the points handed back to the queue for another worker, and
+// failed the points that exhausted MaxRetries instead. Re-queued points
+// go to the back of the queue, behind work never attempted — a point
+// that already burned one worker's lease should not starve fresh
+// points.
+func (t *LeaseTable) Expire(now time.Time) (requeued, failed []string) {
+	// Collect, then sort: map iteration order must not leak into queue
+	// order (the determinism contract extends to lease hand-out order
+	// for a fixed request sequence).
+	var stale []string
+	for id, e := range t.entries {
+		if e.state == stateLeased && now.After(e.expiry) {
+			stale = append(stale, id)
+		}
+	}
+	sort.Strings(stale)
+	for _, id := range stale {
+		e := t.entries[id]
+		e.retries++
+		e.worker, e.token = "", ""
+		if e.retries > t.MaxRetries {
+			e.state = stateFailed
+			e.reason = fmt.Sprintf("lease expired %d times (worker died mid-point?)", e.retries)
+			failed = append(failed, id)
+			continue
+		}
+		e.state = stateQueued
+		t.queue = append(t.queue, id)
+		requeued = append(requeued, id)
+	}
+	return requeued, failed
+}
+
+// Remove retires a point from the table (its result arrived). It
+// reports whether the point was known; removal is valid in any state —
+// a result computed under an expired lease is still a correct result.
+func (t *LeaseTable) Remove(id string) bool {
+	e, ok := t.entries[id]
+	if !ok {
+		return false
+	}
+	delete(t.entries, id)
+	if e.state == stateQueued {
+		for i, qid := range t.queue {
+			if qid == id {
+				t.queue = append(t.queue[:i], t.queue[i+1:]...)
+				break
+			}
+		}
+	}
+	return true
+}
+
+// Holder returns the worker and token currently leasing id; held is
+// false when the point is unknown, queued or failed. Result submission
+// uses it to classify late results (lease expired or re-assigned before
+// the original worker finished).
+func (t *LeaseTable) Holder(id string) (worker, token string, held bool) {
+	if e, ok := t.entries[id]; ok && e.state == stateLeased {
+		return e.worker, e.token, true
+	}
+	return "", "", false
+}
+
+// FailReason returns the failure reason for a point failed by retry
+// exhaustion, or "" if the point is not in the failed state.
+func (t *LeaseTable) FailReason(id string) string {
+	if e, ok := t.entries[id]; ok && e.state == stateFailed {
+		return e.reason
+	}
+	return ""
+}
+
+// Counts returns how many known points are queued, leased and failed.
+func (t *LeaseTable) Counts() (queued, leased, failed int) {
+	for _, e := range t.entries {
+		switch e.state {
+		case stateQueued:
+			queued++
+		case stateLeased:
+			leased++
+		case stateFailed:
+			failed++
+		}
+	}
+	return queued, leased, failed
+}
+
+// LeaseInfo is one held lease, as reported by Leases (the /statusz
+// per-worker table).
+type LeaseInfo struct {
+	// ID is the leased point.
+	ID string `json:"id"`
+	// Worker is the holder's self-reported name.
+	Worker string `json:"worker"`
+	// Expiry is when the lease lapses unless renewed.
+	Expiry time.Time `json:"expiry"`
+	// Retries counts prior expired leases on this point.
+	Retries int `json:"retries,omitempty"`
+}
+
+// Leases returns the currently held leases, sorted by point ID for
+// deterministic output.
+func (t *LeaseTable) Leases() []LeaseInfo {
+	var out []LeaseInfo
+	for id, e := range t.entries {
+		if e.state == stateLeased {
+			out = append(out, LeaseInfo{ID: id, Worker: e.worker, Expiry: e.expiry, Retries: e.retries})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

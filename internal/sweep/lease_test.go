@@ -1,0 +1,122 @@
+package sweep
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLeaseTableFIFOAndRenew(t *testing.T) {
+	lt := NewLeaseTable(10*time.Second, 3)
+	now := time.Unix(1000, 0)
+	for _, id := range []string{"a", "b", "c"} {
+		if !lt.Add(id) {
+			t.Fatalf("Add(%s) = false, want true", id)
+		}
+	}
+	if lt.Add("a") {
+		t.Fatal("re-Add(a) = true, want no-op false")
+	}
+
+	id1, tok1, ok := lt.Acquire(now, "w1")
+	if !ok || id1 != "a" {
+		t.Fatalf("first Acquire = %q, want a", id1)
+	}
+	id2, _, ok := lt.Acquire(now, "w2")
+	if !ok || id2 != "b" {
+		t.Fatalf("second Acquire = %q, want b (FIFO)", id2)
+	}
+	if q, l, f := lt.Counts(); q != 1 || l != 2 || f != 0 {
+		t.Fatalf("Counts = %d/%d/%d, want 1 queued, 2 leased, 0 failed", q, l, f)
+	}
+
+	// Renew holds the lease across what would otherwise be an expiry.
+	now = now.Add(9 * time.Second)
+	if err := lt.Renew("a", tok1, now); err != nil {
+		t.Fatalf("Renew(a): %v", err)
+	}
+	if err := lt.Renew("a", "bogus", now); err == nil {
+		t.Fatal("Renew with wrong token succeeded")
+	}
+	if err := lt.Renew("zz", tok1, now); err == nil {
+		t.Fatal("Renew of unknown point succeeded")
+	}
+	now = now.Add(5 * time.Second) // a renewed to t+23s; b expired at t+10s
+	requeued, failed := lt.Expire(now)
+	if len(requeued) != 1 || requeued[0] != "b" || len(failed) != 0 {
+		t.Fatalf("Expire = requeued %v failed %v, want [b] []", requeued, failed)
+	}
+	// b re-queued behind c (never-attempted work first).
+	id3, _, _ := lt.Acquire(now, "w3")
+	id4, _, _ := lt.Acquire(now, "w3")
+	if id3 != "c" || id4 != "b" {
+		t.Fatalf("post-expiry order = %q, %q; want c then b", id3, id4)
+	}
+
+	if w, _, held := lt.Holder("a"); !held || w != "w1" {
+		t.Fatalf("Holder(a) = %q/%v, want w1 held", w, held)
+	}
+	if !lt.Remove("a") {
+		t.Fatal("Remove(a) = false")
+	}
+	if _, _, held := lt.Holder("a"); held {
+		t.Fatal("Holder(a) held after Remove")
+	}
+}
+
+func TestLeaseTableBoundedRetries(t *testing.T) {
+	lt := NewLeaseTable(time.Second, 1) // one re-assignment allowed
+	lt.Add("p")
+	now := time.Unix(0, 0)
+	for round := 0; round < 2; round++ {
+		id, _, ok := lt.Acquire(now, "w")
+		if !ok || id != "p" {
+			t.Fatalf("round %d: Acquire = %q/%v", round, id, ok)
+		}
+		now = now.Add(2 * time.Second)
+		requeued, failed := lt.Expire(now)
+		if round == 0 {
+			if len(requeued) != 1 || len(failed) != 0 {
+				t.Fatalf("first expiry: requeued %v failed %v, want re-queue", requeued, failed)
+			}
+		} else {
+			if len(requeued) != 0 || len(failed) != 1 || failed[0] != "p" {
+				t.Fatalf("second expiry: requeued %v failed %v, want failed [p]", requeued, failed)
+			}
+		}
+	}
+	if _, _, ok := lt.Acquire(now, "w"); ok {
+		t.Fatal("failed point still acquirable")
+	}
+	if reason := lt.FailReason("p"); reason == "" {
+		t.Fatal("FailReason(p) empty after retry exhaustion")
+	}
+	if q, l, f := lt.Counts(); q != 0 || l != 0 || f != 1 {
+		t.Fatalf("Counts = %d/%d/%d, want 0/0/1", q, l, f)
+	}
+	// A (late) result for a failed point still retires it.
+	if !lt.Remove("p") {
+		t.Fatal("Remove of failed point = false")
+	}
+	if reason := lt.FailReason("p"); reason != "" {
+		t.Fatalf("FailReason after Remove = %q, want empty", reason)
+	}
+}
+
+func TestLeaseTableRemoveQueued(t *testing.T) {
+	lt := NewLeaseTable(time.Second, 3)
+	lt.Add("a")
+	lt.Add("b")
+	lt.Add("c")
+	if !lt.Remove("b") {
+		t.Fatal("Remove(b) = false")
+	}
+	now := time.Unix(0, 0)
+	id1, _, _ := lt.Acquire(now, "w")
+	id2, _, _ := lt.Acquire(now, "w")
+	if id1 != "a" || id2 != "c" {
+		t.Fatalf("Acquire after mid-queue Remove = %q, %q; want a, c", id1, id2)
+	}
+	if _, _, ok := lt.Acquire(now, "w"); ok {
+		t.Fatal("queue should be empty")
+	}
+}

@@ -1,0 +1,53 @@
+package sweep
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// PlanPoint is the wire form of one sweep point: the stable point ID
+// alongside the label and full configuration that define it. It is what
+// a plan submission carries to the sweep coordinator and what the
+// coordinator hands a worker with a lease; it is also the record type
+// of the coordinator's plan journal, which is how queued work survives
+// a coordinator restart.
+//
+// The ID is redundant with (Label, Config) — PointID derives it — and
+// that redundancy is the integrity check: both the coordinator and the
+// worker recompute the digest and refuse a point whose ID does not
+// match, so a version-skewed peer (whose Config serialisation, and
+// hence digest, has drifted) is rejected loudly instead of silently
+// caching results under the wrong identity.
+type PlanPoint struct {
+	// ID is the stable point identity (PointID).
+	ID string `json:"id"`
+	// Label is the point's display label.
+	Label string `json:"label"`
+	// Config is the full simulation configuration.
+	Config core.Config `json:"config"`
+}
+
+// Point converts the wire form back to a plan point.
+func (pp PlanPoint) Point() core.Point {
+	return core.Point{Label: pp.Label, Config: pp.Config}
+}
+
+// Verify recomputes the point's digest and errors if it disagrees with
+// the carried ID — the wire-level determinism check for version skew
+// between fleet processes.
+func (pp PlanPoint) Verify() error {
+	if got := PointID(pp.Point()); got != pp.ID {
+		return fmt.Errorf("sweep: point %q: carried ID %s, recomputed %s (version skew between fleet processes?)", pp.Label, pp.ID, got)
+	}
+	return nil
+}
+
+// Wire returns the plan's points in wire form, IDs computed.
+func (p Plan) Wire() []PlanPoint {
+	pts := make([]PlanPoint, len(p.Points))
+	for i, pt := range p.Points {
+		pts[i] = PlanPoint{ID: PointID(pt), Label: pt.Label, Config: pt.Config}
+	}
+	return pts
+}

@@ -1,0 +1,85 @@
+package sweep
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+func wireTestPlan() Plan {
+	mk := func(lambda float64) core.Point {
+		cfg := core.DefaultConfig(4, 2, lambda)
+		cfg.WarmupMessages = 10
+		cfg.MeasureMessages = 50
+		return core.Point{Label: "wire", Config: cfg}
+	}
+	return Plan{Name: "wiretest", Points: []core.Point{mk(0.002), mk(0.004)}}
+}
+
+func TestPlanWireRoundTrip(t *testing.T) {
+	plan := wireTestPlan()
+	wire := plan.Wire()
+	if len(wire) != 2 {
+		t.Fatalf("Wire len = %d", len(wire))
+	}
+	ids := plan.IDs()
+	for i, pp := range wire {
+		if pp.ID != ids[i] {
+			t.Fatalf("point %d: wire ID %s != plan ID %s", i, pp.ID, ids[i])
+		}
+		if err := pp.Verify(); err != nil {
+			t.Fatalf("point %d: Verify: %v", i, err)
+		}
+		// The JSON round trip a coordinator hop implies must preserve
+		// identity: a config that re-digests differently after
+		// marshal/unmarshal would poison the cache.
+		b, err := json.Marshal(pp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back PlanPoint
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatal(err)
+		}
+		if err := back.Verify(); err != nil {
+			t.Fatalf("point %d after JSON round trip: %v", i, err)
+		}
+		if got := PointID(back.Point()); got != ids[i] {
+			t.Fatalf("point %d: round-tripped ID %s != %s", i, got, ids[i])
+		}
+	}
+}
+
+func TestPlanPointVerifyDetectsSkew(t *testing.T) {
+	pp := wireTestPlan().Wire()[0]
+	pp.Config.Seed++ // simulates a divergent peer re-labelling work
+	if err := pp.Verify(); err == nil {
+		t.Fatal("Verify accepted a point whose config drifted from its ID")
+	}
+}
+
+func okResults(latency float64) metrics.Results {
+	return metrics.Results{MeanLatency: latency, Delivered: 100}
+}
+
+func TestRecordsAgree(t *testing.T) {
+	ok := Record{ID: "x", Label: "l", Results: okResults(10)}
+	same := Record{ID: "x", Label: "l", Results: okResults(10)}
+	diff := Record{ID: "x", Label: "l", Results: okResults(11)}
+	failA := Record{ID: "x", Label: "l", Err: "panic at 0xdead"}
+	failB := Record{ID: "x", Label: "l", Err: "panic at 0xbeef"}
+	if !RecordsAgree(ok, same) {
+		t.Fatal("identical successes must agree")
+	}
+	if RecordsAgree(ok, diff) {
+		t.Fatal("diverging successes must conflict")
+	}
+	if !RecordsAgree(failA, failB) {
+		t.Fatal("two failures agree regardless of message text")
+	}
+	if RecordsAgree(ok, failA) {
+		t.Fatal("success vs failure must conflict")
+	}
+}
